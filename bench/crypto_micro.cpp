@@ -1,0 +1,127 @@
+// Microbenchmarks for the cryptographic substrate (google-benchmark).
+//
+// Supports the paper's design argument: the one-time hash signature used
+// by Turquois costs one SHA-256 evaluation to verify, orders of magnitude
+// below the public-key operations ABBA leans on. These measure the *toy*
+// implementations' wall-clock; the simulator separately charges the
+// production-size virtual costs in crypto::CostModel.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/onetime_sig.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/threshold.hpp"
+#include "crypto/toy_rsa.hpp"
+
+namespace {
+
+using namespace turq;
+using namespace turq::crypto;
+
+void BM_Sha256_64B(benchmark::State& state) {
+  Bytes data(64, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_1KB(benchmark::State& state) {
+  Bytes data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_1KB);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Bytes key(32, 0x11);
+  Bytes data(256, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_OneTimeSig_Verify(benchmark::State& state) {
+  Rng rng(7);
+  const auto chain = OneTimeKeyChain::generate(0, 1, 16, rng);
+  const Bytes& sk = chain.secret_key(4, Value::kOne);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ots_verify(chain.public_keys(), 4, Value::kOne, sk));
+  }
+}
+BENCHMARK(BM_OneTimeSig_Verify);
+
+void BM_ToyRsa_Sign(benchmark::State& state) {
+  Rng rng(7);
+  const RsaKeyPair key = rsa_generate(rng);
+  const Bytes msg = to_bytes("turquois key exchange payload");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_sign(key, msg));
+  }
+}
+BENCHMARK(BM_ToyRsa_Sign);
+
+void BM_ToyRsa_Verify(benchmark::State& state) {
+  Rng rng(7);
+  const RsaKeyPair key = rsa_generate(rng);
+  const Bytes msg = to_bytes("turquois key exchange payload");
+  const std::uint64_t sig = rsa_sign(key, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rsa_verify(key.pub, msg, sig));
+  }
+}
+BENCHMARK(BM_ToyRsa_Verify);
+
+void BM_ThresholdShare_Generate(benchmark::State& state) {
+  Rng rng(7);
+  const auto scheme = ThresholdScheme::deal(16, 11, 0x5161, rng);
+  const Bytes name = to_bytes("pv|1|1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.generate_share(3, name, rng));
+  }
+}
+BENCHMARK(BM_ThresholdShare_Generate);
+
+void BM_ThresholdShare_Verify(benchmark::State& state) {
+  Rng rng(7);
+  const auto scheme = ThresholdScheme::deal(16, 11, 0x5161, rng);
+  const Bytes name = to_bytes("pv|1|1");
+  const auto share = scheme.generate_share(3, name, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.verify_share(name, share));
+  }
+}
+BENCHMARK(BM_ThresholdShare_Verify);
+
+void BM_ThresholdCombine(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t t = n - (n - 1) / 3;
+  const auto scheme = ThresholdScheme::deal(n, t, 0x5161, rng);
+  const Bytes name = to_bytes("coin|1");
+  std::vector<ThresholdShare> shares;
+  for (std::uint32_t i = 0; i < t; ++i) {
+    shares.push_back(scheme.generate_share(i, name, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.combine(name, shares));
+  }
+}
+BENCHMARK(BM_ThresholdCombine)->Arg(4)->Arg(10)->Arg(16);
+
+void BM_KeyChain_Generate(benchmark::State& state) {
+  Rng rng(7);
+  const auto phases = static_cast<Phase>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OneTimeKeyChain::generate(0, 1, phases, rng));
+  }
+}
+BENCHMARK(BM_KeyChain_Generate)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+// Reproduces Table 1 of the paper: average latency ± 95% CI with no
+// process failures, for Turquois / ABBA / Bracha over group sizes
+// {4, 7, 10, 13, 16} and the unanimous / divergent proposal distributions.
+#include "bench/table_common.hpp"
+
+namespace {
+constexpr const char* kPaper =
+    "           Turquois               ABBA                  Bracha\n"
+    "  n     unan.     div.       unan.     div.        unan.      div.\n"
+    "  4     14.90    28.67       74.70    135.39      101.06    127.39\n"
+    "  7     26.85    54.38      125.81    253.66      552.77    715.15\n"
+    " 10     43.15    71.75      277.90    547.42     1361.90   2282.23\n"
+    " 13     60.94   128.07      693.39   1722.44     3459.10   6276.91\n"
+    " 16     87.57   236.31     1914.54   4309.51     7321.41  10420.00\n";
+}  // namespace
+
+int main(int argc, char** argv) {
+  return turq::bench::run_paper_table(
+      argc, argv, turq::harness::FaultLoad::kFailureFree,
+      "Table 1 — failure-free fault load", kPaper);
+}

@@ -1,0 +1,20 @@
+// Reproduces Table 2 of the paper: average latency ± 95% CI when
+// f = floor((n-1)/3) processes crash before the run starts.
+#include "bench/table_common.hpp"
+
+namespace {
+constexpr const char* kPaper =
+    "           Turquois               ABBA                  Bracha\n"
+    "  n     unan.     div.       unan.     div.        unan.      div.\n"
+    "  4     42.26    43.84       77.31     77.88       99.29     99.61\n"
+    "  7    106.28   110.18      183.20    169.90      516.26    519.76\n"
+    " 10    168.45   188.95      310.97    335.93     2488.75   2619.35\n"
+    " 13    375.00   387.22      747.56    771.68     5992.63   6267.88\n"
+    " 16    395.96   422.65     1180.03   1284.83     6362.68   6469.38\n";
+}  // namespace
+
+int main(int argc, char** argv) {
+  return turq::bench::run_paper_table(
+      argc, argv, turq::harness::FaultLoad::kFailStop,
+      "Table 2 — fail-stop fault load", kPaper);
+}

@@ -1,0 +1,21 @@
+// Reproduces Table 3 of the paper: average latency ± 95% CI when
+// f = floor((n-1)/3) processes attack the protocols (value inversion for
+// Turquois/Bracha, invalid signatures/justifications for ABBA).
+#include "bench/table_common.hpp"
+
+namespace {
+constexpr const char* kPaper =
+    "           Turquois               ABBA                  Bracha\n"
+    "  n     unan.     div.       unan.     div.        unan.      div.\n"
+    "  4     44.74    80.18       87.65    197.78      111.16    248.66\n"
+    "  7     96.20   186.74      198.69    361.53      619.09   1634.17\n"
+    " 10    145.22   288.94      481.83   1137.94     2216.42   5633.47\n"
+    " 13    386.39   719.79     1573.46   3276.53     5445.93  12656.41\n"
+    " 16    590.95   904.27     2940.68   6045.06     7698.29  20412.36\n";
+}  // namespace
+
+int main(int argc, char** argv) {
+  return turq::bench::run_paper_table(
+      argc, argv, turq::harness::FaultLoad::kByzantine,
+      "Table 3 — Byzantine fault load", kPaper);
+}

@@ -1,0 +1,78 @@
+// Shared command-line driver for the paper-table benchmark binaries.
+//
+// Usage: table<N> [--reps R] [--sizes 4,7,10] [--seed S] [--quick]
+//   --quick  = 10 repetitions and sizes {4, 7, 10} (fast smoke run)
+// Default matches the paper: 50 repetitions, sizes {4, 7, 10, 13, 16}.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace turq::bench {
+
+struct TableArgs {
+  std::uint32_t reps = 50;
+  std::vector<std::uint32_t> sizes = {4, 7, 10, 13, 16};
+  std::uint64_t seed = 2010;  // DSN 2010
+};
+
+inline TableArgs parse_table_args(int argc, char** argv) {
+  TableArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      args.reps = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--sizes") == 0 && i + 1 < argc) {
+      args.sizes.clear();
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        args.sizes.push_back(
+            static_cast<std::uint32_t>(std::strtoul(list.c_str() + pos, nullptr, 10)));
+        pos = list.find(',', pos);
+        if (pos == std::string::npos) break;
+        ++pos;
+      }
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.reps = 10;
+      args.sizes = {4, 7, 10};
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--reps R] [--sizes 4,7,...] [--seed S] [--quick]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline int run_paper_table(int argc, char** argv, harness::FaultLoad load,
+                           const char* title, const char* paper_reference) {
+  const TableArgs args = parse_table_args(argc, argv);
+
+  harness::TableSpec spec;
+  spec.title = title;
+  spec.fault_load = load;
+  spec.group_sizes = args.sizes;
+
+  harness::ScenarioConfig base;
+  base.repetitions = args.reps;
+  base.seed = args.seed;
+
+  std::fprintf(stderr, "%s (%u repetitions, seed %llu)\n", title, args.reps,
+               static_cast<unsigned long long>(args.seed));
+  const auto results = harness::run_table(spec, base);
+  std::printf("%s\n", harness::render_table(spec, results).c_str());
+  std::printf("Paper reference (Emulab 802.11b testbed):\n%s\n",
+              paper_reference);
+  return 0;
+}
+
+}  // namespace turq::bench

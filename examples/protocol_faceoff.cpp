@@ -1,0 +1,54 @@
+// Runs one identical scenario through all three protocols — Turquois,
+// ABBA, and Bracha — using the experiment harness, and prints a compact
+// side-by-side comparison. A miniature of the paper's evaluation.
+//
+//   $ ./build/examples/protocol_faceoff [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hpp"
+
+using namespace turq;
+using namespace turq::harness;
+
+int main(int argc, char** argv) {
+  const auto n = static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 7);
+
+  std::printf("protocol face-off: n = %u, divergent proposals, "
+              "Byzantine fault load, 10 repetitions\n\n", n);
+  std::printf("%-10s | %12s | %10s | %12s | %14s\n", "protocol",
+              "latency (ms)", "95%% CI", "frames/run", "bytes-on-air");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  for (const Protocol protocol :
+       {Protocol::kTurquois, Protocol::kAbba, Protocol::kBracha}) {
+    ScenarioConfig cfg;
+    cfg.protocol = protocol;
+    cfg.n = n;
+    cfg.distribution = ProposalDist::kDivergent;
+    cfg.fault_load = FaultLoad::kByzantine;
+    cfg.repetitions = 10;
+    cfg.seed = 77;
+    const ScenarioResult r = run_scenario(cfg);
+    const double frames =
+        static_cast<double>(r.medium_total.broadcast_frames +
+                            r.medium_total.unicast_frames) /
+        cfg.repetitions;
+    const double bytes =
+        static_cast<double>(r.medium_total.bytes_on_air) / cfg.repetitions;
+    if (r.latency_ms.empty()) {
+      std::printf("%-10s | %12s | %10s | %12.0f | %14.0f\n",
+                  to_string(protocol).c_str(), "n/a", "-", frames, bytes);
+    } else {
+      std::printf("%-10s | %12.2f | %10.2f | %12.0f | %14.0f\n",
+                  to_string(protocol).c_str(), r.mean(), r.ci95(), frames,
+                  bytes);
+    }
+  }
+  std::printf(
+      "\nTurquois exploits the broadcast medium (one frame reaches all\n"
+      "receivers) and hash-based authentication; the baselines pay for\n"
+      "reliable unicast meshes and, in ABBA's case, threshold public-key\n"
+      "operations on every vote.\n");
+  return 0;
+}

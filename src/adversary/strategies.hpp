@@ -1,0 +1,29 @@
+// Byzantine attack strategies from the paper's evaluation (§7.2).
+//
+// Turquois / Bracha: in (cycle) phases 1 and 2 a Byzantine process proposes
+// the opposite of the value it would propose if correct; in phase 3 it
+// proposes the default value ⊥ — "even if messages are potentially
+// considered invalid". For ABBA, Byzantine processes instead transmit
+// messages with invalid signatures and justifications to burn verification
+// cycles at correct processes (strategies are enums inside each baseline).
+#pragma once
+
+#include "turquois/process.hpp"
+
+namespace turq::adversary {
+
+/// The §7.2 strategy for Turquois, as a Process outgoing-message mutator.
+/// CONVERGE/LOCK-phase broadcasts flip the value; DECIDE-phase broadcasts
+/// carry ⊥. The mutated message is re-signed by the process afterwards
+/// (Byzantine nodes are insiders holding real one-time keys).
+inline turquois::Process::Mutator turquois_value_inversion() {
+  return [](turquois::Message& m) {
+    if (m.phase % 3 == 0) {
+      m.value = Value::kBottom;
+    } else if (is_binary(m.value)) {
+      m.value = opposite(m.value);
+    }
+  };
+}
+
+}  // namespace turq::adversary

@@ -1,0 +1,24 @@
+// Lightweight always-on assertion with message, used for protocol invariants.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace turq::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "ASSERT FAILED: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace turq::detail
+
+#define TURQ_ASSERT(expr)                                                \
+  do {                                                                   \
+    if (!(expr)) ::turq::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TURQ_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) ::turq::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so the logger keeps no locks. Messages
+// below the configured level are suppressed before formatting. Protocol
+// traces (level kTrace) are voluminous; they are off by default and enabled
+// per-experiment when debugging.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace turq {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+#define TURQ_LOG(level, ...)                                   \
+  do {                                                         \
+    if (::turq::Logger::instance().enabled(level)) {           \
+      ::turq::Logger::instance().log(level, __VA_ARGS__);      \
+    }                                                          \
+  } while (0)
+
+#define TURQ_TRACE(...) TURQ_LOG(::turq::LogLevel::kTrace, __VA_ARGS__)
+#define TURQ_DEBUG(...) TURQ_LOG(::turq::LogLevel::kDebug, __VA_ARGS__)
+#define TURQ_INFO(...) TURQ_LOG(::turq::LogLevel::kInfo, __VA_ARGS__)
+#define TURQ_WARN(...) TURQ_LOG(::turq::LogLevel::kWarn, __VA_ARGS__)
+#define TURQ_ERROR(...) TURQ_LOG(::turq::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace turq

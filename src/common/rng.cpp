@@ -1,0 +1,46 @@
+#include "common/rng.hpp"
+
+#include "common/assert.hpp"
+
+namespace turq {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  TURQ_ASSERT_MSG(bound > 0, "uniform() requires bound > 0");
+  // Lemire's method: multiply and reject the biased low region.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  TURQ_ASSERT_MSG(lo <= hi, "uniform_range() requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+Rng Rng::derive(std::string_view tag, std::uint64_t index) const {
+  // Mix current state, tag bytes, and index through SplitMix64.
+  std::uint64_t acc = state_[0] ^ rotl(state_[2], 31);
+  for (const char c : tag) {
+    acc ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    (void)splitmix64(acc);
+  }
+  acc ^= index * 0x9E3779B97F4A7C15ULL;
+  std::uint64_t seed_state = acc;
+  return Rng(splitmix64(seed_state));
+}
+
+}  // namespace turq

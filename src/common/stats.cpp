@@ -1,0 +1,75 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace turq {
+
+void SampleStats::add(double x) { samples_.push_back(x); }
+
+void SampleStats::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+}
+
+double SampleStats::mean() const {
+  TURQ_ASSERT(!samples_.empty());
+  double sum = 0;
+  for (const double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStats::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (const double x : samples_) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(samples_.size() - 1);
+}
+
+double SampleStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleStats::min() const {
+  TURQ_ASSERT(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  TURQ_ASSERT(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::ci95_half_width() const {
+  if (samples_.size() < 2) return 0.0;
+  const double se = stddev() / std::sqrt(static_cast<double>(samples_.size()));
+  return t_quantile_975(samples_.size() - 1) * se;
+}
+
+double SampleStats::percentile(double p) const {
+  TURQ_ASSERT(!samples_.empty());
+  TURQ_ASSERT(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double t_quantile_975(std::size_t dof) {
+  // Exact values for the first 30 degrees of freedom, then common anchors.
+  static constexpr double kTable[] = {
+      0,      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (dof == 0) return 0.0;
+  if (dof <= 30) return kTable[dof];
+  if (dof <= 40) return 2.021;
+  if (dof <= 60) return 2.000;
+  if (dof <= 120) return 1.980;
+  return 1.960;
+}
+
+}  // namespace turq

@@ -1,0 +1,43 @@
+// Summary statistics for experiment results: mean, stddev, confidence
+// intervals, percentiles. Matches the paper's methodology (mean latency with
+// a 95% confidence interval over all collected samples).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace turq {
+
+/// Accumulates samples and reports summary statistics.
+class SampleStats {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // sample variance (n-1 denominator)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Half-width of the 95% confidence interval on the mean, using the
+  /// Student-t quantile for the sample's degrees of freedom.
+  [[nodiscard]] double ci95_half_width() const;
+
+  /// p in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Two-sided 97.5% Student-t quantile for `dof` degrees of freedom
+/// (i.e. the multiplier for a 95% CI). Exact table for small dof, asymptote
+/// 1.96 for large dof.
+double t_quantile_975(std::size_t dof);
+
+}  // namespace turq

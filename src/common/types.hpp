@@ -1,0 +1,68 @@
+// Core domain types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace turq {
+
+/// Identifier of a process/node in the system (0..n-1).
+using ProcessId = std::uint32_t;
+
+constexpr ProcessId kInvalidProcess = std::numeric_limits<ProcessId>::max();
+
+/// Virtual time in the discrete-event simulator, in nanoseconds.
+/// 64-bit ns gives ~292 years of simulated time, far beyond any run here.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of SimTime.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr double to_milliseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// A proposal value in the binary consensus domain, extended with the
+/// "no preference" value ⊥ used by the LOCK phase of Turquois.
+enum class Value : std::uint8_t {
+  kZero = 0,
+  kOne = 1,
+  kBottom = 2,  // ⊥ — lack of preference
+};
+
+constexpr bool is_binary(Value v) { return v == Value::kZero || v == Value::kOne; }
+
+constexpr Value binary_value(bool bit) { return bit ? Value::kOne : Value::kZero; }
+
+constexpr Value opposite(Value v) {
+  if (v == Value::kZero) return Value::kOne;
+  if (v == Value::kOne) return Value::kZero;
+  return Value::kBottom;
+}
+
+inline std::string to_string(Value v) {
+  switch (v) {
+    case Value::kZero: return "0";
+    case Value::kOne: return "1";
+    case Value::kBottom: return "bottom";
+  }
+  return "?";
+}
+
+/// Decision status carried in Turquois messages.
+enum class Status : std::uint8_t {
+  kUndecided = 0,
+  kDecided = 1,
+};
+
+inline std::string to_string(Status s) {
+  return s == Status::kDecided ? "decided" : "undecided";
+}
+
+}  // namespace turq

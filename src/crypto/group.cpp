@@ -1,0 +1,54 @@
+#include "crypto/group.hpp"
+
+#include "common/assert.hpp"
+#include "crypto/modmath.hpp"
+
+namespace turq::crypto {
+
+Group Group::generate(std::uint64_t seed, int bits) {
+  Rng rng(seed);
+  const std::uint64_t p = random_safe_prime(rng, bits);
+  const std::uint64_t q = (p - 1) / 2;
+  // Any quadratic residue other than 1 generates the order-q subgroup.
+  std::uint64_t g = 0;
+  for (std::uint64_t h = 2;; ++h) {
+    g = mulmod(h, h, p);
+    if (g != 1) break;
+  }
+  return Group(p, q, g);
+}
+
+std::uint64_t Group::exp_g(std::uint64_t e) const { return powmod(g_, e % q_, p_); }
+
+std::uint64_t Group::exp(std::uint64_t base, std::uint64_t e) const {
+  return powmod(base, e % q_, p_);
+}
+
+std::uint64_t Group::mul(std::uint64_t a, std::uint64_t b) const {
+  return mulmod(a, b, p_);
+}
+
+std::uint64_t Group::random_exponent(Rng& rng) const {
+  return 1 + rng.uniform(q_ - 1);
+}
+
+std::uint64_t Group::hash_to_group(BytesView data) const {
+  const Digest d = Sha256::hash(data);
+  std::uint64_t x = digest_to_u64(d) % p_;
+  if (x < 2) x = 2;
+  // Squaring maps into the quadratic residues, i.e. the order-q subgroup.
+  return mulmod(x, x, p_);
+}
+
+std::uint64_t Group::hash_to_exponent(BytesView data) const {
+  const Digest d = Sha256::hash(data);
+  return digest_to_u64(d) % q_;
+}
+
+bool Group::is_element(std::uint64_t x) const {
+  if (x == 0 || x >= p_) return false;
+  // x is in the order-q subgroup iff x^q == 1 (mod p).
+  return powmod(x, q_, p_) == 1;
+}
+
+}  // namespace turq::crypto

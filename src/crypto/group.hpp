@@ -1,0 +1,55 @@
+// Schnorr subgroup of prime order q inside Z_p^* with p = 2q + 1.
+//
+// This is the discrete-log group underlying the ABBA threshold coin
+// (Cachin–Kursawe–Shoup's Diffie–Hellman based scheme with Chaum–Pedersen
+// share proofs). Group elements are the quadratic residues mod p; exponents
+// live in Z_q. Parameters are small (≈ 61-bit p) so every operation is real
+// but fast; production-size cost is charged via the virtual-CPU model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace turq::crypto {
+
+class Group {
+ public:
+  /// Deterministically derives group parameters from a seed (all processes
+  /// must agree on them, like a standardized DH group).
+  static Group generate(std::uint64_t seed, int bits = 61);
+
+  [[nodiscard]] std::uint64_t p() const { return p_; }
+  [[nodiscard]] std::uint64_t q() const { return q_; }
+  [[nodiscard]] std::uint64_t g() const { return g_; }
+
+  /// g^e mod p.
+  [[nodiscard]] std::uint64_t exp_g(std::uint64_t e) const;
+  /// base^e mod p.
+  [[nodiscard]] std::uint64_t exp(std::uint64_t base, std::uint64_t e) const;
+  /// a * b mod p.
+  [[nodiscard]] std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+
+  /// Random exponent in [1, q).
+  [[nodiscard]] std::uint64_t random_exponent(Rng& rng) const;
+
+  /// Hash arbitrary bytes to a group element (quadratic residue).
+  [[nodiscard]] std::uint64_t hash_to_group(BytesView data) const;
+
+  /// Hash arbitrary bytes to an exponent in Z_q (Fiat–Shamir challenges).
+  [[nodiscard]] std::uint64_t hash_to_exponent(BytesView data) const;
+
+  [[nodiscard]] bool is_element(std::uint64_t x) const;
+
+ private:
+  Group(std::uint64_t p, std::uint64_t q, std::uint64_t g)
+      : p_(p), q_(q), g_(g) {}
+
+  std::uint64_t p_;
+  std::uint64_t q_;
+  std::uint64_t g_;
+};
+
+}  // namespace turq::crypto

@@ -1,0 +1,38 @@
+#include "crypto/hmac.hpp"
+
+namespace turq::crypto {
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  std::array<std::uint8_t, kSha256BlockSize> k_pad{};
+  if (key.size() > kSha256BlockSize) {
+    const Digest kh = Sha256::hash(key);
+    std::copy(kh.begin(), kh.end(), k_pad.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k_pad.begin());
+  }
+
+  std::array<std::uint8_t, kSha256BlockSize> ipad{};
+  std::array<std::uint8_t, kSha256BlockSize> opad{};
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+
+bool hmac_verify(BytesView key, BytesView message, const Digest& mac) {
+  const Digest expect = hmac_sha256(key, message);
+  return constant_time_equal(BytesView(expect.data(), expect.size()),
+                             BytesView(mac.data(), mac.size()));
+}
+
+}  // namespace turq::crypto

@@ -1,0 +1,18 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// Used to authenticate the reliable point-to-point channels of the Bracha
+// baseline — the simulated analogue of the IPSec Authentication Header the
+// paper configured between every pair of nodes.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace turq::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Digest hmac_sha256(BytesView key, BytesView message);
+
+/// Verifies in constant time.
+bool hmac_verify(BytesView key, BytesView message, const Digest& mac);
+
+}  // namespace turq::crypto

@@ -1,0 +1,110 @@
+#include "crypto/onetime_sig.hpp"
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+
+namespace turq::crypto {
+
+namespace {
+constexpr std::size_t kSecretKeyLen = 32;  // h bytes, matching SHA-256 output
+
+bool is_decide_phase(Phase phase) { return phase % 3 == 0; }
+}  // namespace
+
+bool ots_value_allowed(Phase phase, Value v) {
+  if (v == Value::kBottom) return is_decide_phase(phase);
+  return true;
+}
+
+std::size_t VerificationKeyArray::slots_for_phase(Phase phase) {
+  return is_decide_phase(phase) ? 3 : 2;  // {0,1} plus ⊥ in DECIDE phases
+}
+
+VerificationKeyArray::VerificationKeyArray(ProcessId owner, Phase first_phase,
+                                           std::vector<Digest> keys)
+    : owner_(owner), first_phase_(first_phase), keys_(std::move(keys)) {
+  TURQ_ASSERT(first_phase_ >= 1);
+  // Rebuild the per-phase offsets from the slot layout.
+  std::size_t off = 0;
+  Phase phase = first_phase_;
+  while (off < keys_.size()) {
+    phase_off_.push_back(off);
+    off += slots_for_phase(phase);
+    ++phase;
+  }
+  TURQ_ASSERT_MSG(off == keys_.size(), "key vector does not tile into phases");
+}
+
+Phase VerificationKeyArray::num_phases() const {
+  return static_cast<Phase>(phase_off_.size());
+}
+
+bool VerificationKeyArray::covers(Phase phase) const {
+  return phase >= first_phase_ && phase < first_phase_ + num_phases();
+}
+
+std::size_t VerificationKeyArray::index_of(Phase phase, Value v) const {
+  TURQ_ASSERT(covers(phase));
+  TURQ_ASSERT_MSG(ots_value_allowed(phase, v),
+                  "no one-time key for this (phase, value)");
+  const std::size_t base = phase_off_[phase - first_phase_];
+  return base + static_cast<std::size_t>(v);  // kZero=0, kOne=1, kBottom=2
+}
+
+const Digest& VerificationKeyArray::key(Phase phase, Value v) const {
+  return keys_[index_of(phase, v)];
+}
+
+Bytes VerificationKeyArray::serialize() const {
+  Writer w;
+  w.u32(owner_);
+  w.u32(first_phase_);
+  w.u32(static_cast<std::uint32_t>(keys_.size()));
+  for (const Digest& d : keys_) w.raw(BytesView(d.data(), d.size()));
+  return w.take();
+}
+
+OneTimeKeyChain OneTimeKeyChain::generate(ProcessId owner, Phase first_phase,
+                                          Phase num_phases, Rng& rng) {
+  TURQ_ASSERT(first_phase >= 1 && num_phases >= 1);
+  OneTimeKeyChain chain;
+  std::vector<Digest> vks;
+  for (Phase phase = first_phase; phase < first_phase + num_phases; ++phase) {
+    const std::size_t slots = VerificationKeyArray::slots_for_phase(phase);
+    for (std::size_t s = 0; s < slots; ++s) {
+      Bytes sk(kSecretKeyLen);
+      for (auto& byte : sk) byte = static_cast<std::uint8_t>(rng.next());
+      vks.push_back(Sha256::hash(sk));
+      chain.secrets_.push_back(std::move(sk));
+    }
+  }
+  chain.public_keys_ = VerificationKeyArray(owner, first_phase, std::move(vks));
+  return chain;
+}
+
+const Bytes& OneTimeKeyChain::secret_key(Phase phase, Value v) const {
+  return secrets_[public_keys_.index_of(phase, v)];
+}
+
+bool ots_verify(const VerificationKeyArray& vk_array, Phase phase, Value v,
+                BytesView revealed_sk) {
+  if (!vk_array.covers(phase) || !ots_value_allowed(phase, v)) return false;
+  const Digest computed = Sha256::hash(revealed_sk);
+  const Digest& expected = vk_array.key(phase, v);
+  return constant_time_equal(BytesView(computed.data(), computed.size()),
+                             BytesView(expected.data(), expected.size()));
+}
+
+SignedKeyArray sign_key_array(const VerificationKeyArray& keys,
+                              const RsaKeyPair& rsa) {
+  return SignedKeyArray{.keys = keys,
+                        .signature = rsa_sign(rsa, keys.serialize())};
+}
+
+bool verify_key_array(const SignedKeyArray& signed_keys,
+                      const RsaPublicKey& rsa_pub) {
+  return rsa_verify(rsa_pub, signed_keys.keys.serialize(),
+                    signed_keys.signature);
+}
+
+}  // namespace turq::crypto

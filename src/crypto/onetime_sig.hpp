@@ -1,0 +1,103 @@
+// One-time hash-based message signatures (paper §6.1).
+//
+// For each phase φ and proposal value v ∈ {0, 1, ⊥}, a process holds a
+// random secret key SK[φ][v]; the corresponding verification key is
+// VK[φ][v] = H(SK[φ][v]). Broadcasting ⟨i, φ, v, status⟩ reveals SK[φ][v];
+// receivers check H(SK) == VK[φ][v]. This authenticates (φ, v) with a single
+// hash — no public-key cryptography on the critical path. The VK array
+// itself is signed once with the trapdoor function F (toy RSA here) and
+// distributed out of band before the run.
+//
+// Per the paper's footnote, SK[φ][⊥] exists only for φ (mod 3) = 0, the
+// only phases in which ⊥ is an acceptable proposal value.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/toy_rsa.hpp"
+
+namespace turq::crypto {
+
+/// Phase numbers are 1-based, matching the protocol (φ ≥ 1).
+using Phase = std::uint32_t;
+
+/// True iff value v is in the signing domain for phase φ.
+bool ots_value_allowed(Phase phase, Value v);
+
+/// Public verification-key array for one process and one key-exchange epoch,
+/// covering phases [first_phase, first_phase + num_phases).
+class VerificationKeyArray {
+ public:
+  VerificationKeyArray() = default;
+  VerificationKeyArray(ProcessId owner, Phase first_phase,
+                       std::vector<Digest> keys);
+
+  [[nodiscard]] ProcessId owner() const { return owner_; }
+  [[nodiscard]] Phase first_phase() const { return first_phase_; }
+  [[nodiscard]] Phase num_phases() const;
+  [[nodiscard]] bool covers(Phase phase) const;
+
+  /// The verification key for (phase, value); phase must be covered and the
+  /// value allowed for that phase.
+  [[nodiscard]] const Digest& key(Phase phase, Value v) const;
+
+  /// Canonical serialization (what the RSA signature covers).
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Number of per-(phase,value) slots per phase (0, 1, and ⊥ when allowed).
+  static std::size_t slots_for_phase(Phase phase);
+
+ private:
+  friend class OneTimeKeyChain;
+  [[nodiscard]] std::size_t index_of(Phase phase, Value v) const;
+
+  ProcessId owner_ = kInvalidProcess;
+  Phase first_phase_ = 1;
+  std::vector<Digest> keys_;            // flattened [phase][value]
+  std::vector<std::size_t> phase_off_;  // offset of each phase's slot block
+};
+
+/// A process's private side: the SK array plus the matching public array.
+class OneTimeKeyChain {
+ public:
+  /// Generates keys for phases [first_phase, first_phase + num_phases).
+  static OneTimeKeyChain generate(ProcessId owner, Phase first_phase,
+                                  Phase num_phases, Rng& rng);
+
+  [[nodiscard]] ProcessId owner() const { return public_keys_.owner(); }
+  [[nodiscard]] bool covers(Phase phase) const { return public_keys_.covers(phase); }
+
+  /// The secret key revealed when broadcasting (phase, value).
+  [[nodiscard]] const Bytes& secret_key(Phase phase, Value v) const;
+
+  [[nodiscard]] const VerificationKeyArray& public_keys() const {
+    return public_keys_;
+  }
+
+ private:
+  std::vector<Bytes> secrets_;  // same layout as the VK array
+  VerificationKeyArray public_keys_;
+};
+
+/// Checks that `revealed_sk` authenticates (phase, value) under `vk_array`.
+bool ots_verify(const VerificationKeyArray& vk_array, Phase phase, Value v,
+                BytesView revealed_sk);
+
+/// A VK array signed with the owner's RSA key (the key-exchange payload).
+struct SignedKeyArray {
+  VerificationKeyArray keys;
+  std::uint64_t signature = 0;
+};
+
+SignedKeyArray sign_key_array(const VerificationKeyArray& keys,
+                              const RsaKeyPair& rsa);
+
+bool verify_key_array(const SignedKeyArray& signed_keys,
+                      const RsaPublicKey& rsa_pub);
+
+}  // namespace turq::crypto

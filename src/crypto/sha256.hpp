@@ -1,0 +1,53 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the hash H used by the paper's one-time signature scheme
+// (VK[phase][value] = H(SK[phase][value])), by HMAC channel authentication
+// for the Bracha baseline, and as the random oracle of the ABBA threshold
+// coin. Verified against the FIPS test vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace turq::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+constexpr std::size_t kSha256BlockSize = 64;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  void update(std::string_view s) { update(as_bytes(s)); }
+
+  /// Finalizes and returns the digest. The context must be reset() before
+  /// further use.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+  static Digest hash(std::string_view s) { return hash(as_bytes(s)); }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kSha256BlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as a Bytes vector (for serialization convenience).
+Bytes digest_bytes(const Digest& d);
+
+/// Digest truncated to a u64 (for hash-to-field / coin extraction).
+std::uint64_t digest_to_u64(const Digest& d);
+
+}  // namespace turq::crypto

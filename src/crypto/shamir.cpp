@@ -1,0 +1,68 @@
+#include "crypto/shamir.hpp"
+
+#include "common/assert.hpp"
+#include "crypto/modmath.hpp"
+
+namespace turq::crypto {
+
+std::vector<Share> shamir_deal(std::uint64_t secret, std::uint32_t n,
+                               std::uint32_t t, std::uint64_t q, Rng& rng) {
+  TURQ_ASSERT(t >= 1 && t <= n);
+  TURQ_ASSERT(secret < q);
+  // Polynomial f(x) = secret + c1 x + ... + c_{t-1} x^{t-1} mod q.
+  std::vector<std::uint64_t> coeffs(t);
+  coeffs[0] = secret;
+  for (std::uint32_t i = 1; i < t; ++i) coeffs[i] = rng.uniform(q);
+
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const std::uint64_t x = id + 1;
+    // Horner evaluation mod q.
+    std::uint64_t acc = 0;
+    for (std::uint32_t i = t; i-- > 0;) {
+      acc = (mulmod(acc, x, q) + coeffs[i]) % q;
+    }
+    shares.push_back(Share{.id = id, .value = acc});
+  }
+  return shares;
+}
+
+std::uint64_t lagrange_at_zero(const std::vector<std::uint32_t>& ids,
+                               std::uint32_t j, std::uint64_t q) {
+  // λ_j(0) = Π_{m != j} x_m / (x_m - x_j) with x_i = id_i + 1, all mod q.
+  const std::uint64_t xj = j + 1;
+  std::uint64_t num = 1;
+  std::uint64_t den = 1;
+  bool found = false;
+  for (const std::uint32_t id : ids) {
+    if (id == j) {
+      found = true;
+      continue;
+    }
+    const std::uint64_t xm = id + 1;
+    num = mulmod(num, xm % q, q);
+    const std::uint64_t diff = (xm + q - (xj % q)) % q;
+    TURQ_ASSERT_MSG(diff != 0, "duplicate share ids");
+    den = mulmod(den, diff, q);
+  }
+  TURQ_ASSERT_MSG(found, "j must be a member of ids");
+  const std::uint64_t den_inv = modinv(den, q);
+  TURQ_ASSERT(den_inv != 0);
+  return mulmod(num, den_inv, q);
+}
+
+std::uint64_t shamir_reconstruct(const std::vector<Share>& shares,
+                                 std::uint64_t q) {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(shares.size());
+  for (const Share& s : shares) ids.push_back(s.id);
+  std::uint64_t secret = 0;
+  for (const Share& s : shares) {
+    const std::uint64_t lambda = lagrange_at_zero(ids, s.id, q);
+    secret = (secret + mulmod(lambda, s.value, q)) % q;
+  }
+  return secret;
+}
+
+}  // namespace turq::crypto

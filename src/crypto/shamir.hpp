@@ -1,0 +1,36 @@
+// Shamir secret sharing over Z_q and Lagrange interpolation at zero.
+//
+// Used by the threshold coin / threshold signature dealer: the master
+// secret s is shared with a degree-(t-1) polynomial so that any t shares
+// reconstruct s (here, in the exponent of the group).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace turq::crypto {
+
+/// One party's share: the evaluation of the dealer polynomial at x = id + 1
+/// (x = 0 is reserved for the secret itself).
+struct Share {
+  std::uint32_t id = 0;     // party index, 0-based
+  std::uint64_t value = 0;  // f(id + 1) mod q
+};
+
+/// Deals `n` shares of `secret` with reconstruction threshold `t`
+/// (any t shares suffice; t-1 reveal nothing).
+std::vector<Share> shamir_deal(std::uint64_t secret, std::uint32_t n,
+                               std::uint32_t t, std::uint64_t q, Rng& rng);
+
+/// Lagrange coefficient λ_j(0) for the party set `ids` (0-based ids),
+/// evaluated at x = 0, mod q. `j` must be a member of `ids`.
+std::uint64_t lagrange_at_zero(const std::vector<std::uint32_t>& ids,
+                               std::uint32_t j, std::uint64_t q);
+
+/// Reconstructs the secret from exactly-threshold (or more) shares.
+std::uint64_t shamir_reconstruct(const std::vector<Share>& shares,
+                                 std::uint64_t q);
+
+}  // namespace turq::crypto

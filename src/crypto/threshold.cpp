@@ -1,0 +1,129 @@
+#include "crypto/threshold.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+#include "crypto/modmath.hpp"
+
+namespace turq::crypto {
+
+namespace {
+
+/// Fiat–Shamir challenge binding every public quantity of the proof.
+std::uint64_t dleq_challenge(const Group& group, std::uint64_t x,
+                             std::uint64_t vk, std::uint64_t sigma,
+                             std::uint64_t a, std::uint64_t b) {
+  Writer w;
+  w.u64(group.p());
+  w.u64(group.g());
+  w.u64(x);
+  w.u64(vk);
+  w.u64(sigma);
+  w.u64(a);
+  w.u64(b);
+  return group.hash_to_exponent(w.data());
+}
+
+}  // namespace
+
+ThresholdScheme ThresholdScheme::deal(std::uint32_t n, std::uint32_t t,
+                                      std::uint64_t group_seed, Rng& rng) {
+  TURQ_ASSERT(t >= 1 && t <= n);
+  ThresholdScheme scheme(Group::generate(group_seed), t);
+  scheme.secret_ = scheme.group_.random_exponent(rng);
+  scheme.public_key_ = scheme.group_.exp_g(scheme.secret_);
+  scheme.shares_ = shamir_deal(scheme.secret_, n, t, scheme.group_.q(), rng);
+  scheme.verification_keys_.reserve(n);
+  for (const Share& s : scheme.shares_) {
+    scheme.verification_keys_.push_back(scheme.group_.exp_g(s.value));
+  }
+  return scheme;
+}
+
+std::uint64_t ThresholdScheme::base_for_name(BytesView name) const {
+  return group_.hash_to_group(name);
+}
+
+ThresholdShare ThresholdScheme::generate_share(std::uint32_t party,
+                                               BytesView name,
+                                               Rng& rng) const {
+  TURQ_ASSERT(party < shares_.size());
+  const std::uint64_t s_i = shares_[party].value;
+  const std::uint64_t x = base_for_name(name);
+  const std::uint64_t sigma = group_.exp(x, s_i);
+
+  // Chaum–Pedersen: commit with random w, derive challenge, respond.
+  const std::uint64_t w = group_.random_exponent(rng);
+  const std::uint64_t a = group_.exp_g(w);
+  const std::uint64_t b = group_.exp(x, w);
+  const std::uint64_t c =
+      dleq_challenge(group_, x, verification_keys_[party], sigma, a, b);
+  const std::uint64_t z = (w + mulmod(c, s_i, group_.q())) % group_.q();
+
+  return ThresholdShare{.party = party,
+                        .sigma = sigma,
+                        .proof = {.challenge = c, .response = z}};
+}
+
+bool ThresholdScheme::verify_share(BytesView name,
+                                   const ThresholdShare& share) const {
+  if (share.party >= verification_keys_.size()) return false;
+  if (!group_.is_element(share.sigma)) return false;
+  const std::uint64_t x = base_for_name(name);
+  const std::uint64_t vk = verification_keys_[share.party];
+  const std::uint64_t c = share.proof.challenge;
+  const std::uint64_t z = share.proof.response;
+
+  // Recover the commitments: a = g^z / Y_i^c, b = x^z / sigma^c.
+  const std::uint64_t vk_c_inv = modinv(group_.exp(vk, c), group_.p());
+  const std::uint64_t sigma_c_inv = modinv(group_.exp(share.sigma, c), group_.p());
+  if (vk_c_inv == 0 || sigma_c_inv == 0) return false;
+  const std::uint64_t a = group_.mul(group_.exp_g(z), vk_c_inv);
+  const std::uint64_t b = group_.mul(group_.exp(x, z), sigma_c_inv);
+
+  return dleq_challenge(group_, x, vk, share.sigma, a, b) == c;
+}
+
+std::optional<std::uint64_t> ThresholdScheme::combine(
+    BytesView /*name*/, const std::vector<ThresholdShare>& shares) const {
+  if (shares.size() < t_) return std::nullopt;
+
+  // Use the first t distinct parties.
+  std::vector<ThresholdShare> chosen;
+  std::vector<std::uint32_t> ids;
+  for (const ThresholdShare& s : shares) {
+    if (std::find(ids.begin(), ids.end(), s.party) != ids.end()) continue;
+    chosen.push_back(s);
+    ids.push_back(s.party);
+    if (chosen.size() == t_) break;
+  }
+  if (chosen.size() < t_) return std::nullopt;
+
+  std::uint64_t combined = 1;
+  for (const ThresholdShare& s : chosen) {
+    const std::uint64_t lambda = lagrange_at_zero(ids, s.party, group_.q());
+    combined = group_.mul(combined, group_.exp(s.sigma, lambda));
+  }
+  return combined;
+}
+
+bool ThresholdScheme::coin_bit(BytesView name, std::uint64_t combined) const {
+  Writer w;
+  w.bytes(name);
+  w.u64(combined);
+  const Digest d = Sha256::hash(w.data());
+  return (d[0] & 1) != 0;
+}
+
+bool ThresholdScheme::verify_combined(
+    BytesView name, std::uint64_t combined,
+    const std::vector<ThresholdShare>& shares) const {
+  for (const ThresholdShare& s : shares) {
+    if (!verify_share(name, s)) return false;
+  }
+  const auto recombined = combine(name, shares);
+  return recombined.has_value() && *recombined == combined;
+}
+
+}  // namespace turq::crypto

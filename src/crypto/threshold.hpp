@@ -1,0 +1,98 @@
+// Threshold coin-tossing and threshold signatures (Cachin–Kursawe–Shoup
+// style), built on Shamir sharing in the exponent of a Schnorr group with
+// Chaum–Pedersen share-correctness proofs (Fiat–Shamir, non-interactive).
+//
+// Setup is by a trusted dealer, exactly as in the paper's ABBA deployment
+// where keys are generated and distributed before the protocols execute.
+//
+// For a name (bit string) N:
+//   x      = hash-to-group(N)
+//   share  = sigma_i = x^{s_i}, with a proof that log_g(Y_i) = log_x(sigma_i)
+//   combine(t shares) = x^s via Lagrange in the exponent — a *unique* value
+//   coin(N) = low bit of H(N, x^s)
+//
+// The same machinery doubles as the dual threshold signatures ABBA uses to
+// justify pre-votes and main-votes (domain-separated by the name string).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/group.hpp"
+#include "crypto/shamir.hpp"
+
+namespace turq::crypto {
+
+/// Chaum–Pedersen proof of discrete-log equality:
+/// knows s with Y = g^s and sigma = x^s.
+struct DleqProof {
+  std::uint64_t challenge = 0;  // c
+  std::uint64_t response = 0;   // z
+};
+
+/// A coin/signature share from one party, carrying its correctness proof.
+struct ThresholdShare {
+  std::uint32_t party = 0;
+  std::uint64_t sigma = 0;  // x^{s_i}
+  DleqProof proof;
+};
+
+/// Per-party private state plus the public verification material.
+class ThresholdScheme {
+ public:
+  /// Dealer: n parties, reconstruction threshold t.
+  static ThresholdScheme deal(std::uint32_t n, std::uint32_t t,
+                              std::uint64_t group_seed, Rng& rng);
+
+  [[nodiscard]] const Group& group() const { return group_; }
+  [[nodiscard]] std::uint32_t n() const { return static_cast<std::uint32_t>(shares_.size()); }
+  [[nodiscard]] std::uint32_t threshold() const { return t_; }
+  [[nodiscard]] std::uint64_t public_key() const { return public_key_; }
+  [[nodiscard]] std::uint64_t verification_key(std::uint32_t party) const {
+    return verification_keys_[party];
+  }
+
+  /// Party `party` produces its share for `name` with a correctness proof.
+  [[nodiscard]] ThresholdShare generate_share(std::uint32_t party,
+                                              BytesView name, Rng& rng) const;
+
+  /// Verifies a share against the party's verification key.
+  [[nodiscard]] bool verify_share(BytesView name,
+                                  const ThresholdShare& share) const;
+
+  /// Combines >= t verified shares into the unique value x^s. Returns
+  /// nullopt on insufficient or duplicate shares. Shares are assumed
+  /// already verified.
+  [[nodiscard]] std::optional<std::uint64_t> combine(
+      BytesView name, const std::vector<ThresholdShare>& shares) const;
+
+  /// Extracts the unpredictable coin bit from a combined value.
+  [[nodiscard]] bool coin_bit(BytesView name, std::uint64_t combined) const;
+
+  /// Checks a claimed combined value by recombining the attached shares
+  /// (our verifiability substitute for a pairing/RSA-based check; the
+  /// virtual-CPU model charges this as one production signature verify).
+  [[nodiscard]] bool verify_combined(BytesView name, std::uint64_t combined,
+                                     const std::vector<ThresholdShare>& shares) const;
+
+  /// The master secret — exposed only for tests.
+  [[nodiscard]] std::uint64_t secret_for_testing() const { return secret_; }
+
+ private:
+  ThresholdScheme(Group group, std::uint32_t t)
+      : group_(group), t_(t) {}
+
+  [[nodiscard]] std::uint64_t base_for_name(BytesView name) const;
+
+  Group group_;
+  std::uint32_t t_;
+  std::uint64_t secret_ = 0;
+  std::uint64_t public_key_ = 0;                  // g^s
+  std::vector<Share> shares_;                     // s_i (private, per party)
+  std::vector<std::uint64_t> verification_keys_;  // g^{s_i} (public)
+};
+
+}  // namespace turq::crypto

@@ -1,0 +1,418 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "adversary/strategies.hpp"
+#include "baselines/abba/abba.hpp"
+#include "baselines/bracha/bracha.hpp"
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+#include "net/broadcast_endpoint.hpp"
+#include "net/fault_injector.hpp"
+#include "net/reliable_channel.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "turquois/key_infra.hpp"
+#include "turquois/process.hpp"
+
+namespace turq::harness {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kTurquois: return "Turquois";
+    case Protocol::kBracha: return "Bracha";
+    case Protocol::kAbba: return "ABBA";
+  }
+  return "?";
+}
+
+std::string to_string(ProposalDist d) {
+  return d == ProposalDist::kUnanimous ? "unanimous" : "divergent";
+}
+
+std::string to_string(FaultLoad f) {
+  switch (f) {
+    case FaultLoad::kFailureFree: return "failure-free";
+    case FaultLoad::kFailStop: return "fail-stop";
+    case FaultLoad::kByzantine: return "Byzantine";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Proposal value for process `id` under the given distribution: the paper's
+/// unanimous load proposes 1 everywhere; the divergent load has odd ids
+/// propose 1 and even ids propose 0.
+Value proposal_for(ProposalDist dist, ProcessId id) {
+  if (dist == ProposalDist::kUnanimous) return Value::kOne;
+  return (id % 2 == 1) ? Value::kOne : Value::kZero;
+}
+
+/// Shared per-repetition context: the deployment and bookkeeping needed to
+/// run until all correct processes decide.
+struct Deployment {
+  sim::Simulator sim;
+  std::unique_ptr<net::Medium> medium;
+  std::unique_ptr<net::CompositeFaults> faults;
+  std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
+  std::vector<ProcessId> correct;   // processes expected to decide
+  std::vector<ProcessId> faulty;    // crashed or Byzantine
+
+  // Polled through type-erased accessors set up by the builders.
+  std::vector<std::function<bool()>> decided;
+  std::vector<std::function<std::optional<Value>()>> decision;
+  std::vector<std::function<std::uint64_t()>> sent;
+  std::vector<SimTime> start_at;
+  std::vector<std::optional<SimTime>> decide_at;
+};
+
+void split_roles(const ScenarioConfig& cfg, Deployment& d) {
+  // The last f processes take the faulty role, keeping the odd/even
+  // proposal pattern of the survivors intact.
+  const std::uint32_t f = cfg.f();
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    if (cfg.fault_load != FaultLoad::kFailureFree && id >= cfg.n - f) {
+      d.faulty.push_back(id);
+    } else {
+      d.correct.push_back(id);
+    }
+  }
+}
+
+void setup_medium(const ScenarioConfig& cfg, Deployment& d, Rng& root) {
+  d.medium = std::make_unique<net::Medium>(d.sim, cfg.medium,
+                                           root.derive("medium", 0));
+  d.faults = std::make_unique<net::CompositeFaults>();
+  if (cfg.loss_rate > 0) {
+    d.faults->add(std::make_unique<net::IidLoss>(cfg.loss_rate,
+                                                 root.derive("loss", 0)));
+  }
+  if (cfg.bursty_loss) {
+    d.faults->add(std::make_unique<net::GilbertElliott>(
+        cfg.burst_params, root.derive("burst", 0)));
+  }
+  d.medium->set_fault_injector(d.faults.get());
+}
+
+RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
+  RunResult result;
+  // Drive the simulation until every correct process decides or timeout.
+  const SimTime deadline = cfg.run_timeout;
+  while (d.sim.now() < deadline) {
+    bool all = true;
+    for (std::size_t i = 0; i < d.correct.size(); ++i) {
+      const ProcessId id = d.correct[i];
+      if (d.decided[id]()) {
+        if (!d.decide_at[id].has_value()) d.decide_at[id] = d.sim.now();
+      } else {
+        all = false;
+      }
+    }
+    if (all) break;
+    const SimTime slice = std::min<SimTime>(deadline, d.sim.now() + kMillisecond);
+    if (d.sim.run_until(slice) == 0 && d.sim.idle()) break;
+  }
+
+  std::optional<Value> agreed;
+  std::size_t decided_count = 0;
+  result.all_correct_decided = true;
+  for (const ProcessId id : d.correct) {
+    if (!d.decided[id]()) {
+      result.all_correct_decided = false;
+      continue;
+    }
+    ++decided_count;
+    const auto v = d.decision[id]();
+    TURQ_ASSERT(v.has_value());
+    if (agreed.has_value() && *agreed != *v) result.agreement_held = false;
+    agreed = *v;
+    // decide_at may not have been sampled if decision landed in the last
+    // slice; fall back to now.
+    const SimTime at = d.decide_at[id].value_or(d.sim.now());
+    result.latencies_ms.push_back(to_milliseconds(at - d.start_at[id]));
+  }
+  result.k_decided = decided_count >= cfg.k();
+  result.decision = agreed;
+
+  // Validity: under the unanimous load every correct process proposed 1.
+  if (cfg.distribution == ProposalDist::kUnanimous && agreed.has_value() &&
+      *agreed != Value::kOne) {
+    result.validity_held = false;
+  }
+
+  result.medium = d.medium->stats();
+  for (const ProcessId id : d.correct) result.app_messages += d.sent[id]();
+  return result;
+}
+
+// ----------------------------------------------------------- per protocol --
+
+RunResult run_turquois(const ScenarioConfig& cfg, Rng root) {
+  Deployment d;
+  split_roles(cfg, d);
+  setup_medium(cfg, d, root);
+
+  turquois::Config tcfg = turquois::Config::for_group(cfg.n);
+  tcfg.tick_interval = cfg.tick_interval;
+  tcfg.tick_jitter = cfg.tick_jitter;
+  const turquois::KeyInfrastructure keys =
+      turquois::KeyInfrastructure::setup(tcfg, root);
+
+  std::vector<std::unique_ptr<net::BroadcastEndpoint>> endpoints;
+  std::vector<std::unique_ptr<turquois::Process>> procs;
+  d.decided.resize(cfg.n);
+  d.decision.resize(cfg.n);
+  d.sent.resize(cfg.n);
+  d.start_at.resize(cfg.n, 0);
+  d.decide_at.resize(cfg.n);
+
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    d.cpus.push_back(std::make_unique<sim::VirtualCpu>(d.sim));
+    endpoints.push_back(
+        std::make_unique<net::BroadcastEndpoint>(d.sim, *d.medium, id));
+    procs.push_back(std::make_unique<turquois::Process>(
+        d.sim, *endpoints.back(), *d.cpus.back(), tcfg, keys, id,
+        root.derive("proc", id), cfg.costs));
+    auto* p = procs.back().get();
+    d.decided[id] = [p] { return p->decided(); };
+    d.decision[id] = [p]() -> std::optional<Value> {
+      return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
+    };
+    d.sent[id] = [p] { return p->stats().broadcasts; };
+    p->set_on_decide([&d, id](Value, turquois::Phase, SimTime at) {
+      d.decide_at[id] = at;
+    });
+  }
+
+  Rng start_rng = root.derive("start", 0);
+  const bool fail_stop = cfg.fault_load == FaultLoad::kFailStop;
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    if (faulty && fail_stop) {
+      procs[id]->crash();
+      continue;
+    }
+    if (faulty) {
+      procs[id]->set_mutator(adversary::turquois_value_inversion());
+    }
+    const auto offset = static_cast<SimDuration>(start_rng.uniform(
+        static_cast<std::uint64_t>(cfg.start_spread) + 1));
+    d.start_at[id] = offset;
+    d.sim.schedule_at(offset, [p = procs[id].get(),
+                               v = proposal_for(cfg.distribution, id)] {
+      p->propose(v);
+    });
+  }
+
+  return collect(cfg, d);
+}
+
+RunResult run_bracha(const ScenarioConfig& cfg, Rng root) {
+  Deployment d;
+  split_roles(cfg, d);
+  setup_medium(cfg, d, root);
+
+  const bracha::Config bcfg = bracha::Config::for_group(cfg.n);
+  net::TcpConfig tcp = cfg.tcp;
+  tcp.authenticate = true;  // IPSec AH analogue
+
+  // Shared pairwise HMAC keys (the pre-established security associations).
+  Rng key_rng = root.derive("sa-keys", 0);
+  std::vector<std::vector<Bytes>> keys(cfg.n, std::vector<Bytes>(cfg.n));
+  for (ProcessId a = 0; a < cfg.n; ++a) {
+    for (ProcessId b = a; b < cfg.n; ++b) {
+      Bytes key(32);
+      for (auto& byte : key) byte = static_cast<std::uint8_t>(key_rng.next());
+      keys[a][b] = key;
+      keys[b][a] = std::move(key);
+    }
+  }
+
+  std::vector<std::unique_ptr<net::TcpHost>> hosts;
+  std::vector<std::unique_ptr<bracha::Process>> procs;
+  d.decided.resize(cfg.n);
+  d.decision.resize(cfg.n);
+  d.sent.resize(cfg.n);
+  d.start_at.resize(cfg.n, 0);
+  d.decide_at.resize(cfg.n);
+
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    d.cpus.push_back(std::make_unique<sim::VirtualCpu>(d.sim));
+    hosts.push_back(std::make_unique<net::TcpHost>(
+        d.sim, *d.medium, id, tcp, d.cpus.back().get(), &cfg.costs));
+    for (ProcessId peer = 0; peer < cfg.n; ++peer) {
+      hosts.back()->set_peer_key(peer, keys[id][peer]);
+    }
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    const auto strategy = (faulty && cfg.fault_load == FaultLoad::kByzantine)
+                              ? bracha::Strategy::kValueInversion
+                              : bracha::Strategy::kHonest;
+    procs.push_back(std::make_unique<bracha::Process>(
+        d.sim, *hosts.back(), *d.cpus.back(), bcfg, id,
+        root.derive("proc", id), cfg.costs, strategy));
+    auto* p = procs.back().get();
+    d.decided[id] = [p] { return p->decided(); };
+    d.decision[id] = [p]() -> std::optional<Value> {
+      return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
+    };
+    d.sent[id] = [p] { return p->stats().messages_sent; };
+    p->set_on_decide([&d, id](Value, std::uint32_t, SimTime at) {
+      d.decide_at[id] = at;
+    });
+  }
+
+  if (cfg.fault_load == FaultLoad::kFailStop) {
+    // Crashed-before-start processes never came up: surviving hosts have no
+    // connection to them (no frames wasted on unreachable peers).
+    for (ProcessId alive = 0; alive < cfg.n; ++alive) {
+      for (const ProcessId dead : d.faulty) {
+        hosts[alive]->disconnect_peer(dead);
+      }
+    }
+  }
+
+  Rng start_rng = root.derive("start", 0);
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    if (faulty && cfg.fault_load == FaultLoad::kFailStop) {
+      procs[id]->crash();
+      continue;
+    }
+    const auto offset = static_cast<SimDuration>(start_rng.uniform(
+        static_cast<std::uint64_t>(cfg.start_spread) + 1));
+    d.start_at[id] = offset;
+    d.sim.schedule_at(offset, [p = procs[id].get(),
+                               v = proposal_for(cfg.distribution, id)] {
+      p->propose(v);
+    });
+  }
+
+  RunResult result = collect(cfg, d);
+  for (const auto& host : hosts) {
+    const auto& s = host->stats();
+    result.tcp.messages_sent += s.messages_sent;
+    result.tcp.segments_sent += s.segments_sent;
+    result.tcp.segments_retransmitted += s.segments_retransmitted;
+    result.tcp.rto_fires += s.rto_fires;
+    result.tcp.fast_retransmits += s.fast_retransmits;
+  }
+  return result;
+}
+
+RunResult run_abba(const ScenarioConfig& cfg, Rng root) {
+  Deployment d;
+  split_roles(cfg, d);
+  setup_medium(cfg, d, root);
+
+  const abba::Config acfg = abba::Config::for_group(cfg.n);
+  Rng dealer_rng = root.derive("dealer", 0);
+  const abba::Dealer dealer = abba::Dealer::setup(acfg, dealer_rng);
+  net::TcpConfig tcp = cfg.tcp;  // plain TCP: ABBA authenticates itself
+  tcp.authenticate = false;
+
+  std::vector<std::unique_ptr<net::TcpHost>> hosts;
+  std::vector<std::unique_ptr<abba::Process>> procs;
+  d.decided.resize(cfg.n);
+  d.decision.resize(cfg.n);
+  d.sent.resize(cfg.n);
+  d.start_at.resize(cfg.n, 0);
+  d.decide_at.resize(cfg.n);
+
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    d.cpus.push_back(std::make_unique<sim::VirtualCpu>(d.sim));
+    hosts.push_back(std::make_unique<net::TcpHost>(
+        d.sim, *d.medium, id, tcp, d.cpus.back().get(), &cfg.costs));
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    const auto strategy = (faulty && cfg.fault_load == FaultLoad::kByzantine)
+                              ? abba::Strategy::kInvalidCrypto
+                              : abba::Strategy::kHonest;
+    procs.push_back(std::make_unique<abba::Process>(
+        d.sim, *hosts.back(), *d.cpus.back(), acfg, dealer, id,
+        root.derive("proc", id), cfg.costs, strategy));
+    auto* p = procs.back().get();
+    d.decided[id] = [p] { return p->decided(); };
+    d.decision[id] = [p]() -> std::optional<Value> {
+      return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
+    };
+    d.sent[id] = [p] { return p->stats().messages_sent; };
+    p->set_on_decide([&d, id](Value, std::uint32_t, SimTime at) {
+      d.decide_at[id] = at;
+    });
+  }
+
+  if (cfg.fault_load == FaultLoad::kFailStop) {
+    // Crashed-before-start processes never came up: surviving hosts have no
+    // connection to them (no frames wasted on unreachable peers).
+    for (ProcessId alive = 0; alive < cfg.n; ++alive) {
+      for (const ProcessId dead : d.faulty) {
+        hosts[alive]->disconnect_peer(dead);
+      }
+    }
+  }
+
+  Rng start_rng = root.derive("start", 0);
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    if (faulty && cfg.fault_load == FaultLoad::kFailStop) {
+      procs[id]->crash();
+      continue;
+    }
+    const auto offset = static_cast<SimDuration>(start_rng.uniform(
+        static_cast<std::uint64_t>(cfg.start_spread) + 1));
+    d.start_at[id] = offset;
+    d.sim.schedule_at(offset, [p = procs[id].get(),
+                               v = proposal_for(cfg.distribution, id)] {
+      p->propose(v);
+    });
+  }
+
+  return collect(cfg, d);
+}
+
+}  // namespace
+
+RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index) {
+  Rng root(cfg.seed);
+  Rng rep = root.derive("rep", rep_index);
+  switch (cfg.protocol) {
+    case Protocol::kTurquois: return run_turquois(cfg, rep);
+    case Protocol::kBracha: return run_bracha(cfg, rep);
+    case Protocol::kAbba: return run_abba(cfg, rep);
+  }
+  TURQ_ASSERT_MSG(false, "unknown protocol");
+  return {};
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  ScenarioResult result;
+  result.config = cfg;
+  for (std::uint32_t rep = 0; rep < cfg.repetitions; ++rep) {
+    const RunResult run = run_once(cfg, rep);
+    if (!run.agreement_held || !run.validity_held) ++result.safety_violations;
+    if (!run.all_correct_decided) {
+      ++result.failed_runs;
+      continue;
+    }
+    result.latency_ms.add_all(run.latencies_ms);
+    result.medium_total.broadcast_frames += run.medium.broadcast_frames;
+    result.medium_total.unicast_frames += run.medium.unicast_frames;
+    result.medium_total.collisions += run.medium.collisions;
+    result.medium_total.mac_retries += run.medium.mac_retries;
+    result.medium_total.unicast_drops += run.medium.unicast_drops;
+    result.medium_total.deliveries += run.medium.deliveries;
+    result.medium_total.omissions += run.medium.omissions;
+    result.medium_total.frames_collided += run.medium.frames_collided;
+    result.medium_total.bytes_on_air += run.medium.bytes_on_air;
+    result.medium_total.airtime += run.medium.airtime;
+  }
+  return result;
+}
+
+}  // namespace turq::harness

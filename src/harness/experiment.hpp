@@ -1,0 +1,109 @@
+// Experiment harness reproducing the paper's methodology (§7.2).
+//
+// A scenario is (protocol × group size × proposal distribution × fault
+// load). Each repetition builds a fresh simulated deployment; processes
+// start within a small window (the spread of the signaling machine's
+// 1-byte UDP broadcast); per-process latency is the interval between that
+// process's propose() and its decide. A scenario pools the latencies of
+// all correct processes over all repetitions and reports mean ± 95% CI,
+// exactly how the paper's tables are built.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "crypto/cost_model.hpp"
+#include "net/fault_injector.hpp"
+#include "net/medium.hpp"
+#include "net/reliable_channel.hpp"
+
+namespace turq::harness {
+
+enum class Protocol { kTurquois, kBracha, kAbba };
+enum class ProposalDist { kUnanimous, kDivergent };
+enum class FaultLoad { kFailureFree, kFailStop, kByzantine };
+
+std::string to_string(Protocol p);
+std::string to_string(ProposalDist d);
+std::string to_string(FaultLoad f);
+
+struct ScenarioConfig {
+  Protocol protocol = Protocol::kTurquois;
+  std::uint32_t n = 4;
+  ProposalDist distribution = ProposalDist::kUnanimous;
+  FaultLoad fault_load = FaultLoad::kFailureFree;
+  std::uint64_t seed = 1;
+  std::uint32_t repetitions = 50;
+
+  /// Wall guard per repetition (simulated time).
+  SimDuration run_timeout = 120 * kSecond;
+
+  /// Spread of the start signal across processes.
+  SimDuration start_spread = 2 * kMillisecond;
+
+  /// Ambient iid frame loss on top of collisions (interference, fading).
+  double loss_rate = 0.01;
+
+  /// Bursty ambient loss (Gilbert-Elliott), modeling the correlated fade /
+  /// interference episodes of a real 802.11b cell. Bursts are what give the
+  /// fail-stop load its characteristic penalty and wide confidence
+  /// intervals: with only n-f processes alive every quorum needs every
+  /// survivor, so a bad-state episode stalls whole retransmission ticks.
+  bool bursty_loss = true;
+  net::GilbertElliott::Params burst_params{
+      .mean_good_dwell = 800 * kMillisecond,
+      .mean_bad_dwell = 60 * kMillisecond,
+      .loss_good = 0.0,
+      .loss_bad = 0.45};
+
+  net::MediumConfig medium;
+  crypto::CostModel costs;
+
+  /// Reliable-channel knobs for the baselines (authentication is forced on
+  /// for Bracha and off for ABBA regardless of this field).
+  net::TcpConfig tcp;
+
+  /// Turquois-specific knobs.
+  SimDuration tick_interval = 10 * kMillisecond;
+  SimDuration tick_jitter = 2 * kMillisecond;
+
+  [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
+  [[nodiscard]] std::uint32_t k() const { return n - f(); }
+};
+
+/// Outcome of one repetition.
+struct RunResult {
+  bool all_correct_decided = false;
+  bool k_decided = false;
+  bool agreement_held = true;
+  bool validity_held = true;
+  std::optional<Value> decision;
+  std::vector<double> latencies_ms;  // one per decided correct process
+  net::MediumStats medium;
+  std::uint64_t app_messages = 0;    // protocol-level point-to-point sends
+  net::TcpHost::Stats tcp;           // summed over hosts (baselines only)
+};
+
+/// Pooled outcome of a scenario.
+struct ScenarioResult {
+  ScenarioConfig config;
+  SampleStats latency_ms;
+  std::uint32_t failed_runs = 0;     // repetitions missing decisions
+  std::uint32_t safety_violations = 0;
+  net::MediumStats medium_total;
+
+  [[nodiscard]] double mean() const { return latency_ms.mean(); }
+  [[nodiscard]] double ci95() const { return latency_ms.ci95_half_width(); }
+};
+
+/// Runs one repetition with a derived seed.
+RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index);
+
+/// Runs the full scenario (all repetitions) and pools the results.
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+}  // namespace turq::harness

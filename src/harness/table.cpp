@@ -1,0 +1,87 @@
+#include "harness/table.hpp"
+
+#include <cstdio>
+
+namespace turq::harness {
+
+std::vector<ScenarioResult> run_table(const TableSpec& spec,
+                                      const ScenarioConfig& base) {
+  std::vector<ScenarioResult> results;
+  for (const std::uint32_t n : spec.group_sizes) {
+    for (const Protocol protocol : spec.protocols) {
+      for (const ProposalDist dist : spec.distributions) {
+        ScenarioConfig cfg = base;
+        cfg.protocol = protocol;
+        cfg.n = n;
+        cfg.distribution = dist;
+        cfg.fault_load = spec.fault_load;
+        results.push_back(run_scenario(cfg));
+        std::fprintf(stderr, "  done: %-8s n=%-2u %-10s -> %s\n",
+                     to_string(protocol).c_str(), n, to_string(dist).c_str(),
+                     format_cell(results.back()).c_str());
+      }
+    }
+  }
+  return results;
+}
+
+std::string format_cell(const ScenarioResult& r) {
+  char buf[96];
+  if (r.latency_ms.empty()) {
+    std::snprintf(buf, sizeof(buf), "n/a (%u failed)", r.failed_runs);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.2f ± %.2f", r.mean(), r.ci95());
+  std::string out = buf;
+  if (r.failed_runs > 0) {
+    std::snprintf(buf, sizeof(buf), " [%u failed]", r.failed_runs);
+    out += buf;
+  }
+  if (r.safety_violations > 0) {
+    std::snprintf(buf, sizeof(buf), " [%u SAFETY]", r.safety_violations);
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_table(const TableSpec& spec,
+                         const std::vector<ScenarioResult>& results) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s\n", spec.title.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "Average latency ± 95%% confidence interval (ms)\n\n");
+  out += buf;
+
+  // Header.
+  std::snprintf(buf, sizeof(buf), "%-8s", "Group");
+  out += buf;
+  for (const Protocol protocol : spec.protocols) {
+    for (const ProposalDist dist : spec.distributions) {
+      std::snprintf(buf, sizeof(buf), " | %24s",
+                    (to_string(protocol) + " " + to_string(dist)).c_str());
+      out += buf;
+    }
+  }
+  out += "\n";
+  out += std::string(8 + spec.protocols.size() * spec.distributions.size() * 27,
+                     '-');
+  out += "\n";
+
+  std::size_t idx = 0;
+  for (const std::uint32_t n : spec.group_sizes) {
+    std::snprintf(buf, sizeof(buf), "n = %-4u", n);
+    out += buf;
+    for (std::size_t c = 0;
+         c < spec.protocols.size() * spec.distributions.size(); ++c) {
+      std::snprintf(buf, sizeof(buf), " | %24s",
+                    format_cell(results[idx++]).c_str());
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace turq::harness

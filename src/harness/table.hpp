@@ -1,0 +1,37 @@
+// Paper-style table rendering for the evaluation harness.
+//
+// Reproduces the layout of Tables 1-3: one row per group size, one column
+// pair (unanimous / divergent) per protocol, each cell "mean ± ci" in
+// milliseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace turq::harness {
+
+struct TableSpec {
+  std::string title;
+  FaultLoad fault_load = FaultLoad::kFailureFree;
+  std::vector<std::uint32_t> group_sizes = {4, 7, 10, 13, 16};
+  std::vector<Protocol> protocols = {Protocol::kTurquois, Protocol::kAbba,
+                                     Protocol::kBracha};
+  std::vector<ProposalDist> distributions = {ProposalDist::kUnanimous,
+                                             ProposalDist::kDivergent};
+};
+
+/// Runs the full grid for one table and returns the results in row-major
+/// order (group size, then protocol, then distribution).
+std::vector<ScenarioResult> run_table(const TableSpec& spec,
+                                      const ScenarioConfig& base);
+
+/// Renders the grid in the paper's layout.
+std::string render_table(const TableSpec& spec,
+                         const std::vector<ScenarioResult>& results);
+
+/// One-line "cell" formatting: "12.34 ± 5.67".
+std::string format_cell(const ScenarioResult& r);
+
+}  // namespace turq::harness

@@ -1,0 +1,43 @@
+#include "net/broadcast_endpoint.hpp"
+
+namespace turq::net {
+
+BroadcastEndpoint::BroadcastEndpoint(sim::Simulator& simulator, Medium& medium,
+                                     ProcessId self)
+    : sim_(simulator), medium_(medium), self_(self) {
+  medium_.attach(self_, [this](ProcessId src, const Bytes& frame, bool bc) {
+    if (!open_ || !bc || !handler_) return;
+    if (frame.size() < kUdpIpOverhead) return;  // malformed frame
+    // Strip the modeled UDP/IP overhead (padded at the tail on send).
+    const Bytes payload(frame.begin(),
+                        frame.end() - static_cast<std::ptrdiff_t>(kUdpIpOverhead));
+    handler_(src, payload);
+  });
+}
+
+BroadcastEndpoint::~BroadcastEndpoint() {
+  if (open_) medium_.detach(self_);
+}
+
+void BroadcastEndpoint::send(Bytes payload) {
+  if (!open_) return;
+  ++sent_;
+  // Loopback copy: local delivery is immediate and loss-free.
+  sim_.schedule(0, [this, copy = payload] {
+    if (open_ && handler_) handler_(self_, copy);
+  });
+  // Over-the-air copy carries UDP/IP headers; the medium adds MAC overhead.
+  Bytes frame = std::move(payload);
+  frame.resize(frame.size() + kUdpIpOverhead);  // header bytes are opaque
+  // Headers conceptually precede the payload, but receivers only see the
+  // payload portion; keep payload bytes at the front and pad the tail.
+  medium_.send_broadcast(self_, std::move(frame));
+}
+
+void BroadcastEndpoint::close() {
+  if (!open_) return;
+  open_ = false;
+  medium_.detach(self_);
+}
+
+}  // namespace turq::net

@@ -1,0 +1,50 @@
+// UDP-broadcast-style endpoint over the shared medium.
+//
+// This is Turquois's transport: fire-and-forget datagrams with UDP/IP
+// overhead, delivered to every attached node subject to collisions and
+// injected omissions. The sender also delivers to itself via loopback
+// (the paper's broadcast(m) reaches every process *including* the sender).
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace turq::net {
+
+class BroadcastEndpoint {
+ public:
+  using DatagramHandler = std::function<void(ProcessId src, const Bytes& payload)>;
+
+  static constexpr std::size_t kUdpIpOverhead = 28;  // IPv4 + UDP headers
+
+  BroadcastEndpoint(sim::Simulator& simulator, Medium& medium, ProcessId self);
+  ~BroadcastEndpoint();
+
+  BroadcastEndpoint(const BroadcastEndpoint&) = delete;
+  BroadcastEndpoint& operator=(const BroadcastEndpoint&) = delete;
+
+  void set_handler(DatagramHandler handler) { handler_ = std::move(handler); }
+
+  /// Broadcasts `payload` to every node, including the local one (loopback).
+  void send(Bytes payload);
+
+  /// Stops sending and receiving (crash).
+  void close();
+
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }
+
+ private:
+  sim::Simulator& sim_;
+  Medium& medium_;
+  ProcessId self_;
+  bool open_ = true;
+  std::uint64_t sent_ = 0;
+  DatagramHandler handler_;
+};
+
+}  // namespace turq::net

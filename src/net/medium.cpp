@@ -1,0 +1,298 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace turq::net {
+
+Medium::Medium(sim::Simulator& simulator, MediumConfig config, Rng rng)
+    : sim_(simulator), config_(config), rng_(rng) {}
+
+void Medium::attach(ProcessId id, ReceiveHandler handler) {
+  TURQ_ASSERT_MSG(!nodes_.contains(id), "node already attached");
+  nodes_[id].handler = std::move(handler);
+}
+
+void Medium::detach(ProcessId id) {
+  nodes_.erase(id);
+  // Drop any stale contention entry; a later re-attach under the same id
+  // (fresh protocol instance) must start clean.
+  std::erase(contenders_, id);
+}
+
+SimDuration Medium::frame_airtime(std::size_t payload_bytes,
+                                  double rate_bps) const {
+  const std::size_t bits = (payload_bytes + config_.mac_overhead_bytes) * 8;
+  const auto tx = static_cast<SimDuration>(
+      std::ceil(static_cast<double>(bits) / rate_bps * 1e9));
+  return config_.preamble + tx;
+}
+
+SimDuration Medium::airtime_of(const Frame& frame) const {
+  const double rate = frame.is_broadcast() ? config_.broadcast_rate_bps
+                                           : config_.unicast_rate_bps;
+  return frame_airtime(frame.payload.size(), rate);
+}
+
+SimDuration Medium::ack_airtime() const {
+  const std::size_t bits = config_.ack_bytes * 8;
+  const auto tx = static_cast<SimDuration>(
+      std::ceil(static_cast<double>(bits) / config_.control_rate_bps * 1e9));
+  return config_.preamble + tx;
+}
+
+void Medium::send_broadcast(ProcessId src, Bytes payload, bool replace_queued) {
+  TURQ_ASSERT_MSG(payload.size() <= config_.max_frame_bytes,
+                  "frame exceeds MSDU limit; fragment at a higher layer");
+  if (replace_queued) {
+    const auto it = nodes_.find(src);
+    if (it != nodes_.end()) {
+      NodeState& node = it->second;
+      // Keep at most kBroadcastQueueDepth broadcast frames waiting (plus one
+      // on the air): under congestion the oldest state datagrams are
+      // superseded, while at low load back-to-back states still all go out.
+      constexpr std::size_t kBroadcastQueueDepth = 2;
+      std::size_t queued = 0;
+      std::size_t idx = 0;
+      const std::size_t in_air = node.transmitting ? 1 : 0;
+      for (const Frame& f : node.queue) {
+        if (idx++ < in_air) continue;
+        if (f.is_broadcast()) ++queued;
+      }
+      while (queued >= kBroadcastQueueDepth) {
+        // Drop the oldest waiting broadcast frame.
+        idx = 0;
+        for (auto qit = node.queue.begin(); qit != node.queue.end(); ++qit) {
+          if (idx++ < in_air) continue;
+          if (qit->is_broadcast()) {
+            node.queue.erase(qit);
+            --queued;
+            break;
+          }
+        }
+      }
+    }
+  }
+  enqueue(Frame{.src = src, .dst = kBroadcastDst, .payload = std::move(payload),
+                .retries = 0, .cw = config_.cw_min, .on_result = {}});
+}
+
+void Medium::send_unicast(ProcessId src, ProcessId dst, Bytes payload,
+                          SendResult on_result) {
+  TURQ_ASSERT_MSG(payload.size() <= config_.max_frame_bytes,
+                  "frame exceeds MSDU limit; fragment at a higher layer");
+  TURQ_ASSERT_MSG(dst != kBroadcastDst, "invalid unicast destination");
+  enqueue(Frame{.src = src, .dst = dst, .payload = std::move(payload),
+                .retries = 0, .cw = config_.cw_min,
+                .on_result = std::move(on_result)});
+}
+
+void Medium::enqueue(Frame frame) {
+  const auto it = nodes_.find(frame.src);
+  if (it == nodes_.end()) return;  // detached (crashed) senders go silent
+  it->second.queue.push_back(std::move(frame));
+  add_contender(it->first);
+}
+
+void Medium::add_contender(ProcessId id) {
+  NodeState& node = nodes_.at(id);
+  if (node.contending || node.queue.empty()) return;
+  node.contending = true;
+  contenders_.push_back(id);
+  maybe_schedule_resolution();
+}
+
+void Medium::maybe_schedule_resolution() {
+  if (resolution_pending_ || contenders_.empty()) return;
+  resolution_pending_ = true;
+  const SimTime at = std::max(sim_.now(), busy_until_) + config_.difs;
+  sim_.schedule_at(at, [this] { resolve_contention(); });
+}
+
+void Medium::resolve_contention() {
+  resolution_pending_ = false;
+  if (contenders_.empty()) return;
+  if (sim_.now() < busy_until_ + config_.difs) {
+    // Channel became busy between scheduling and firing; re-arm.
+    maybe_schedule_resolution();
+    return;
+  }
+
+  // Every contender draws a backoff slot; the minimum transmits. Ties are
+  // simultaneous transmissions — a collision. (Per-round redraw instead of
+  // the standard residual freeze: with synchronized burst arrivals the
+  // redraw matches measured DCF collision rates better and avoids the
+  // small-residual pile-up an event-lumped freeze model produces.)
+  std::uint32_t min_slot = ~0U;
+  std::vector<std::pair<ProcessId, std::uint32_t>> draws;
+  draws.reserve(contenders_.size());
+  for (const ProcessId id : contenders_) {
+    const NodeState& node = nodes_.at(id);
+    TURQ_ASSERT(!node.queue.empty());
+    const std::uint32_t cw = node.queue.front().cw;
+    const auto slot = static_cast<std::uint32_t>(rng_.uniform(cw + 1));
+    draws.emplace_back(id, slot);
+    min_slot = std::min(min_slot, slot);
+  }
+
+  std::vector<ProcessId> winners;
+  for (const auto& [id, slot] : draws) {
+    if (slot == min_slot) winners.push_back(id);
+  }
+
+  // Winners leave the contention set for the duration of their transmission.
+  std::erase_if(contenders_, [&](ProcessId id) {
+    return std::find(winners.begin(), winners.end(), id) != winners.end();
+  });
+  for (const ProcessId id : winners) {
+    NodeState& node = nodes_.at(id);
+    node.contending = false;
+    node.transmitting = true;
+  }
+
+  const SimTime start = sim_.now() + static_cast<SimDuration>(min_slot) *
+                                         config_.slot_time;
+
+  if (winners.size() == 1) {
+    const ProcessId winner = winners.front();
+    const Frame& frame = nodes_.at(winner).queue.front();
+    const SimDuration air = airtime_of(frame);
+    stats_.bytes_on_air += frame.payload.size() + config_.mac_overhead_bytes;
+    stats_.airtime += air;
+    busy_until_ = start + air;
+    sim_.schedule_at(busy_until_, [this, winner] { finish_single(winner); });
+  } else {
+    // All tied frames overlap and are corrupted at every receiver.
+    ++stats_.collisions;
+    SimDuration longest = 0;
+    for (const ProcessId id : winners) {
+      const Frame& frame = nodes_.at(id).queue.front();
+      const SimDuration air = airtime_of(frame);
+      stats_.bytes_on_air += frame.payload.size() + config_.mac_overhead_bytes;
+      longest = std::max(longest, air);
+      ++stats_.frames_collided;
+    }
+    stats_.airtime += longest;
+    busy_until_ = start + longest;
+    sim_.schedule_at(busy_until_, [this, winners = std::move(winners)] {
+      finish_collision(winners);
+    });
+  }
+}
+
+void Medium::deliver(const Frame& frame) {
+  for (auto& [id, node] : nodes_) {
+    if (id == frame.src) continue;
+    if (!frame.is_broadcast() && id != frame.dst) continue;
+    if (faults_->drop(frame.src, id, sim_.now(), frame.payload.size())) {
+      ++stats_.omissions;
+      continue;
+    }
+    ++stats_.deliveries;
+    // Copy the payload per receiver; handlers run as fresh events so a
+    // handler enqueueing new frames sees a consistent medium state.
+    sim_.schedule_at(sim_.now(),
+                     [handler = node.handler, src = frame.src,
+                      payload = frame.payload, bc = frame.is_broadcast()] {
+                       handler(src, payload, bc);
+                     });
+  }
+}
+
+void Medium::finish_single(ProcessId winner) {
+  const auto it = nodes_.find(winner);
+  if (it == nodes_.end()) return;  // sender crashed mid-air; frame evaporates
+  NodeState& node = it->second;
+  TURQ_ASSERT(!node.queue.empty());
+  Frame& frame = node.queue.front();
+
+  if (frame.is_broadcast()) {
+    ++stats_.broadcast_frames;
+    deliver(frame);
+    complete_frame(winner, true);
+    return;
+  }
+
+  ++stats_.unicast_frames;
+  // The data frame is subject to injected omission at the destination; the
+  // MAC ACK can also be lost on the way back.
+  const auto dst_it = nodes_.find(frame.dst);
+  const bool data_ok =
+      dst_it != nodes_.end() &&
+      !faults_->drop(frame.src, frame.dst, sim_.now(), frame.payload.size());
+
+  if (data_ok) {
+    ++stats_.deliveries;
+    sim_.schedule_at(sim_.now(),
+                     [handler = dst_it->second.handler, src = frame.src,
+                      payload = frame.payload] { handler(src, payload, false); });
+  } else if (dst_it != nodes_.end()) {
+    ++stats_.omissions;
+  }
+
+  const bool ack_ok =
+      data_ok &&
+      !faults_->drop(frame.dst, frame.src, sim_.now(), config_.ack_bytes);
+  if (data_ok) {
+    // ACK occupies the channel after SIFS whether or not the sender hears it.
+    const SimDuration ack_time = config_.sifs + ack_airtime();
+    stats_.airtime += ack_airtime();
+    stats_.bytes_on_air += config_.ack_bytes;
+    busy_until_ = sim_.now() + ack_time;
+  }
+
+  if (ack_ok) {
+    complete_frame(winner, true);
+  } else {
+    retry_or_drop(winner);
+  }
+}
+
+void Medium::finish_collision(std::vector<ProcessId> winners) {
+  for (const ProcessId id : winners) {
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) continue;
+    TURQ_ASSERT(!it->second.queue.empty());
+    Frame& frame = it->second.queue.front();
+    if (frame.is_broadcast()) {
+      // 802.11 never retransmits broadcast: the frame is simply lost.
+      ++stats_.broadcast_frames;
+      complete_frame(id, false);
+    } else {
+      ++stats_.unicast_frames;
+      retry_or_drop(id);
+    }
+  }
+  maybe_schedule_resolution();
+}
+
+void Medium::complete_frame(ProcessId id, bool delivered) {
+  NodeState& node = nodes_.at(id);
+  node.transmitting = false;
+  Frame frame = std::move(node.queue.front());
+  node.queue.pop_front();
+  if (frame.on_result) frame.on_result(delivered);
+  add_contender(id);
+  maybe_schedule_resolution();
+}
+
+void Medium::retry_or_drop(ProcessId id) {
+  NodeState& node = nodes_.at(id);
+  node.transmitting = false;
+  Frame& frame = node.queue.front();
+  if (frame.retries >= config_.retry_limit) {
+    ++stats_.unicast_drops;
+    complete_frame(id, false);
+    return;
+  }
+  ++frame.retries;
+  ++stats_.mac_retries;
+  frame.cw = std::min((frame.cw + 1) * 2 - 1, config_.cw_max);
+  add_contender(id);
+  maybe_schedule_resolution();
+}
+
+}  // namespace turq::net

@@ -1,0 +1,153 @@
+// Shared-channel 802.11b-style wireless medium.
+//
+// Models the aspects of the paper's testbed that drive its results:
+//   * one shared channel — every frame occupies airtime all nodes contend for;
+//   * CSMA/CA: DIFS sensing + slotted random backoff; equal backoff draws
+//     collide, corrupting every overlapping frame;
+//   * broadcast frames carry no MAC ACK and are never retransmitted — one
+//     collision or omission loses the frame at up to n−1 receivers;
+//   * unicast frames get a MAC-level ACK and up to `retry_limit` retries
+//     with exponential contention-window growth (what makes TCP viable);
+//   * broadcast is sent at the basic rate (2 Mb/s), unicast data at 11 Mb/s,
+//     matching 802.11b multicast behaviour.
+//
+// Omission faults beyond collisions (interference, fading, jamming) are
+// injected per (frame, receiver) through a FaultInjector.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/fault_injector.hpp"
+#include "sim/simulator.hpp"
+
+namespace turq::net {
+
+struct MediumConfig {
+  // 802.11b sends broadcast/multicast at a basic rate (2 Mb/s here, the
+  // common configuration and the value that calibrates Turquois's absolute
+  // latencies to the paper's testbed); unicast data goes at the full 11 Mb/s.
+  // See bench/ablation_medium for the sensitivity of the results to this.
+  double broadcast_rate_bps = 2e6;
+  double unicast_rate_bps = 11e6;    // data rate for unicast
+  double control_rate_bps = 2e6;     // ACK frames
+  SimDuration preamble = 192 * kMicrosecond;  // long PLCP preamble + header
+  SimDuration slot_time = 20 * kMicrosecond;
+  SimDuration sifs = 10 * kMicrosecond;
+  SimDuration difs = 50 * kMicrosecond;
+  std::uint32_t cw_min = 31;
+  std::uint32_t cw_max = 1023;
+  std::uint32_t retry_limit = 7;
+  std::size_t mac_overhead_bytes = 34;  // MAC header + FCS
+  std::size_t ack_bytes = 14;
+  std::size_t max_frame_bytes = 2304;   // MSDU limit
+};
+
+/// Counters for medium-level activity, used by the evaluation harness and
+/// the broadcast-vs-unicast ablation.
+struct MediumStats {
+  std::uint64_t broadcast_frames = 0;   // frames put on the air
+  std::uint64_t unicast_frames = 0;     // incl. MAC retries
+  std::uint64_t mac_retries = 0;
+  std::uint64_t collisions = 0;         // collision events
+  std::uint64_t frames_collided = 0;    // frames lost to collisions
+  std::uint64_t unicast_drops = 0;      // frames dropped after retry limit
+  std::uint64_t deliveries = 0;         // successful (frame, receiver) pairs
+  std::uint64_t omissions = 0;          // injected (frame, receiver) losses
+  std::uint64_t bytes_on_air = 0;
+  SimDuration airtime = 0;
+};
+
+class Medium {
+ public:
+  /// Called on frame delivery: source, payload, whether it was broadcast.
+  using ReceiveHandler =
+      std::function<void(ProcessId src, const Bytes& payload, bool broadcast)>;
+
+  /// Called when a unicast send completes: true = MAC-acknowledged,
+  /// false = dropped after the retry limit.
+  using SendResult = std::function<void(bool acked)>;
+
+  Medium(sim::Simulator& simulator, MediumConfig config, Rng rng);
+
+  /// Registers a node. A node must be attached to send or receive.
+  void attach(ProcessId id, ReceiveHandler handler);
+
+  /// Deregisters a node (crash): it stops receiving; queued frames die.
+  void detach(ProcessId id);
+
+  /// Replaces the fault injector (not owned; must outlive the medium).
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
+  /// Queues a broadcast frame. No ACK, no retry; delivery at each receiver
+  /// is subject to collisions and injected omissions. When `replace_queued`
+  /// is set (the default), any broadcast frames of this sender still waiting
+  /// in its MAC queue (not yet on the air) are superseded — a protocol
+  /// state datagram is stale the moment a newer one exists, and this is
+  /// what keeps queues bounded when the channel saturates.
+  void send_broadcast(ProcessId src, Bytes payload, bool replace_queued = true);
+
+  /// Queues a unicast frame with MAC ACK/retry semantics.
+  void send_unicast(ProcessId src, ProcessId dst, Bytes payload,
+                    SendResult on_result = {});
+
+  [[nodiscard]] const MediumStats& stats() const { return stats_; }
+  [[nodiscard]] const MediumConfig& config() const { return config_; }
+
+  /// Airtime of a frame carrying `payload_bytes` at `rate_bps`.
+  [[nodiscard]] SimDuration frame_airtime(std::size_t payload_bytes,
+                                          double rate_bps) const;
+
+ private:
+  static constexpr ProcessId kBroadcastDst = kInvalidProcess;
+
+  struct Frame {
+    ProcessId src = kInvalidProcess;
+    ProcessId dst = kBroadcastDst;
+    Bytes payload;
+    std::uint32_t retries = 0;
+    std::uint32_t cw = 0;
+    SendResult on_result;
+
+    [[nodiscard]] bool is_broadcast() const { return dst == kBroadcastDst; }
+  };
+
+  struct NodeState {
+    ReceiveHandler handler;
+    std::deque<Frame> queue;
+    bool contending = false;
+    bool transmitting = false;  // queue.front() is on the air
+  };
+
+  void enqueue(Frame frame);
+  void add_contender(ProcessId id);
+  void maybe_schedule_resolution();
+  void resolve_contention();
+  void finish_single(ProcessId winner);
+  void finish_collision(std::vector<ProcessId> winners);
+  void complete_frame(ProcessId node, bool popped_ok);
+  void retry_or_drop(ProcessId node);
+  void deliver(const Frame& frame);
+  [[nodiscard]] SimDuration airtime_of(const Frame& frame) const;
+  [[nodiscard]] SimDuration ack_airtime() const;
+
+  sim::Simulator& sim_;
+  MediumConfig config_;
+  Rng rng_;
+  NoFaults no_faults_;
+  FaultInjector* faults_ = &no_faults_;
+  std::map<ProcessId, NodeState> nodes_;
+  std::vector<ProcessId> contenders_;
+  bool resolution_pending_ = false;
+  SimTime busy_until_ = 0;
+  MediumStats stats_;
+};
+
+}  // namespace turq::net

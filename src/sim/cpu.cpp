@@ -1,0 +1,26 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace turq::sim {
+
+SimTime VirtualCpu::free_at() const { return std::max(busy_until_, sim_.now()); }
+
+void VirtualCpu::execute(SimDuration duration, std::function<void()> done) {
+  TURQ_ASSERT(duration >= 0);
+  const SimTime start = free_at();
+  busy_until_ = start + duration;
+  total_busy_ += duration;
+  sim_.schedule_at(busy_until_, std::move(done));
+}
+
+void VirtualCpu::charge(SimDuration duration) {
+  TURQ_ASSERT(duration >= 0);
+  const SimTime start = free_at();
+  busy_until_ = start + duration;
+  total_busy_ += duration;
+}
+
+}  // namespace turq::sim

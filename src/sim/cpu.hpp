@@ -1,0 +1,40 @@
+// Per-node virtual CPU.
+//
+// Serializes modeled computation (crypto, message processing) on each node:
+// work submitted while the CPU is busy queues behind the in-flight work.
+// This is how production-size crypto costs (see crypto::CostModel) become
+// visible in simulated latency even though the toy implementations are fast
+// in wall-clock terms.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace turq::sim {
+
+class VirtualCpu {
+ public:
+  explicit VirtualCpu(Simulator& simulator) : sim_(simulator) {}
+
+  /// Charges `duration` of compute and invokes `done` when it completes.
+  /// Work is serialized: it starts when all previously submitted work ends.
+  void execute(SimDuration duration, std::function<void()> done);
+
+  /// Charges `duration` with no completion callback (accounting only).
+  void charge(SimDuration duration);
+
+  /// Time at which the CPU becomes free given current commitments.
+  [[nodiscard]] SimTime free_at() const;
+
+  /// Total compute charged so far (for utilization reporting).
+  [[nodiscard]] SimDuration total_busy() const { return total_busy_; }
+
+ private:
+  Simulator& sim_;
+  SimTime busy_until_ = 0;
+  SimDuration total_busy_ = 0;
+};
+
+}  // namespace turq::sim

@@ -1,0 +1,76 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace turq::sim {
+
+EventId Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  TURQ_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  TURQ_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  const EventId id = next_id_++;
+  handlers_.emplace(id, std::move(fn));
+  queue_.push(QueueEntry{.at = at, .id = id});
+  ++pending_;
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return;
+  handlers_.erase(it);
+  --pending_;
+  // The queue entry stays; execute_next() skips ids with no handler.
+}
+
+bool Simulator::execute_next() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    queue_.pop();
+    const auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    --pending_;
+    now_ = entry.at;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  stopped_ = false;
+  bool ran_dry = true;  // exited because no event at or before the deadline
+  while (!stopped_ && !queue_.empty()) {
+    // Peek: do not execute events past the deadline.
+    const QueueEntry entry = queue_.top();
+    if (handlers_.find(entry.id) == handlers_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.at > deadline) break;
+    if (!execute_next()) break;
+    ++count;
+  }
+  ran_dry = !stopped_;
+  // Virtual time advances to the deadline whenever we drained everything
+  // scheduled up to it — callers polling in wall slices rely on this.
+  if (ran_dry && now_ < deadline) now_ = deadline;
+  return count;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t count = 0;
+  stopped_ = false;
+  while (!stopped_ && count < max_events && execute_next()) ++count;
+  TURQ_ASSERT_MSG(count < max_events, "simulator hit the event safety stop");
+  return count;
+}
+
+}  // namespace turq::sim

@@ -1,0 +1,75 @@
+// Deterministic discrete-event simulator.
+//
+// Single-threaded virtual-time event loop: events execute in (time, insertion
+// sequence) order, so runs are exactly reproducible. All protocol stacks,
+// the radio medium, and the virtual CPUs schedule through this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace turq::sim {
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Returns a cancellable handle.
+  EventId schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or `deadline` is passed.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime deadline);
+
+  /// Runs until the queue drains (bounded by `max_events` as a safety stop).
+  std::size_t run(std::size_t max_events = 100'000'000);
+
+  /// Requests the run loop to stop after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool idle() const { return pending_ == 0; }
+  [[nodiscard]] std::size_t events_executed() const { return executed_; }
+
+ private:
+  struct QueueEntry {
+    SimTime at;
+    EventId id;
+    bool operator>(const QueueEntry& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;  // FIFO among simultaneous events
+    }
+  };
+
+  bool execute_next();  // returns false when queue is empty
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t pending_ = 0;
+  std::size_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+};
+
+}  // namespace turq::sim

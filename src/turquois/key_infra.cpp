@@ -1,0 +1,30 @@
+#include "turquois/key_infra.hpp"
+
+#include "common/assert.hpp"
+
+namespace turq::turquois {
+
+KeyInfrastructure KeyInfrastructure::setup(const Config& cfg, Rng& rng) {
+  KeyInfrastructure infra;
+  infra.chains_.reserve(cfg.n);
+  infra.signed_arrays_.reserve(cfg.n);
+  infra.rsa_publics_.reserve(cfg.n);
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    Rng chain_rng = rng.derive("ots-chain", id);
+    infra.chains_.push_back(crypto::OneTimeKeyChain::generate(
+        id, /*first_phase=*/1, cfg.phases_per_epoch, chain_rng));
+
+    Rng rsa_rng = rng.derive("rsa", id);
+    const crypto::RsaKeyPair rsa = crypto::rsa_generate(rsa_rng);
+    infra.rsa_publics_.push_back(rsa.pub);
+    infra.signed_arrays_.push_back(
+        crypto::sign_key_array(infra.chains_.back().public_keys(), rsa));
+
+    // The paper's receivers verify each array's signature on arrival;
+    // setup performs the same check once.
+    TURQ_ASSERT(crypto::verify_key_array(infra.signed_arrays_.back(), rsa.pub));
+  }
+  return infra;
+}
+
+}  // namespace turq::turquois

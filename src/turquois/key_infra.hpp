@@ -1,0 +1,55 @@
+// Key infrastructure for Turquois (§6.1's key-exchange procedure).
+//
+// A trusted setup — modeling the paper's offline distribution of public
+// keys and the first VK array — generates, for each process, an RSA key
+// pair and a one-time key chain for `phases_per_epoch` phases, signs the
+// VK arrays, and hands every process the full set of verified VK arrays.
+// Byzantine processes hold real keys too (they are insiders).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/onetime_sig.hpp"
+#include "crypto/toy_rsa.hpp"
+#include "turquois/config.hpp"
+
+namespace turq::turquois {
+
+class KeyInfrastructure {
+ public:
+  /// Runs the trusted setup for `cfg.n` processes.
+  static KeyInfrastructure setup(const Config& cfg, Rng& rng);
+
+  /// A process's own secret chain.
+  [[nodiscard]] const crypto::OneTimeKeyChain& chain(ProcessId id) const {
+    return chains_[id];
+  }
+
+  /// The verified VK array of any process (distribution + RSA verification
+  /// already happened during setup, as the paper does offline).
+  [[nodiscard]] const crypto::VerificationKeyArray& verification_keys(
+      ProcessId id) const {
+    return signed_arrays_[id].keys;
+  }
+
+  [[nodiscard]] const crypto::SignedKeyArray& signed_array(ProcessId id) const {
+    return signed_arrays_[id];
+  }
+
+  [[nodiscard]] const crypto::RsaPublicKey& rsa_public(ProcessId id) const {
+    return rsa_publics_[id];
+  }
+
+  [[nodiscard]] std::uint32_t n() const {
+    return static_cast<std::uint32_t>(chains_.size());
+  }
+
+ private:
+  std::vector<crypto::OneTimeKeyChain> chains_;
+  std::vector<crypto::SignedKeyArray> signed_arrays_;
+  std::vector<crypto::RsaPublicKey> rsa_publics_;
+};
+
+}  // namespace turq::turquois

@@ -1,0 +1,449 @@
+#include "turquois/process.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace turq::turquois {
+
+namespace {
+/// Bound on the pending pool; beyond it the oldest-phase entries are cut.
+constexpr std::size_t kMaxPending = 4096;
+}  // namespace
+
+Process::Process(sim::Simulator& simulator, net::BroadcastEndpoint& endpoint,
+                 sim::VirtualCpu& cpu, const Config& config,
+                 const KeyInfrastructure& keys, ProcessId id, Rng rng,
+                 const crypto::CostModel& costs)
+    : sim_(simulator),
+      endpoint_(endpoint),
+      cpu_(cpu),
+      cfg_(config),
+      keys_(keys),
+      id_(id),
+      rng_(rng),
+      costs_(costs) {
+  claimed_.resize(cfg_.n, 0);
+  endpoint_.set_handler([this](ProcessId src, const Bytes& payload) {
+    on_datagram(src, payload);
+  });
+}
+
+void Process::propose(Value initial) {
+  TURQ_ASSERT_MSG(!proposed_, "propose() may be called once");
+  TURQ_ASSERT_MSG(is_binary(initial), "proposals are binary");
+  proposed_ = true;
+  running_ = true;
+  value_ = initial;
+  broadcast_state();
+  // Drain datagrams buffered before the start signal (modeled OS buffer).
+  std::vector<std::pair<ProcessId, Bytes>> queued;
+  queued.swap(prestart_);
+  for (auto& [src, payload] : queued) on_datagram(src, payload);
+}
+
+void Process::crash() {
+  running_ = false;
+  halted_ = true;
+  prestart_.clear();
+  if (tick_timer_ != sim::kInvalidEvent) {
+    sim_.cancel(tick_timer_);
+    tick_timer_ = sim::kInvalidEvent;
+  }
+  endpoint_.close();
+}
+
+// ---------------------------------------------------------------- task T1 --
+
+void Process::schedule_tick() {
+  if (!running_) return;
+  if (tick_timer_ != sim::kInvalidEvent) sim_.cancel(tick_timer_);
+  const SimDuration jitter =
+      cfg_.tick_jitter > 0
+          ? static_cast<SimDuration>(
+                rng_.uniform(static_cast<std::uint64_t>(cfg_.tick_jitter)))
+          : 0;
+  tick_timer_ =
+      sim_.schedule(cfg_.tick_interval + jitter, [this] { on_tick(); });
+}
+
+void Process::on_tick() {
+  tick_timer_ = sim::kInvalidEvent;
+  if (!running_) return;
+  broadcast_state();
+}
+
+void Process::broadcast_state() {
+  Datagram d;
+  d.main = Message{.sender = id_,
+                   .phase = phase_,
+                   .value = value_,
+                   .status = status_,
+                   .from_coin = from_coin_,
+                   .auth_sk = {}};
+
+  // §6.2: try implicit validation first (small message); when forced to
+  // re-broadcast the same state on the next tick, append the justification.
+  // After several repeats (a genuine stall) escalate with phase-1 evidence,
+  // which repairs receivers whose validation chains bottomed out.
+  const auto state_key = std::make_tuple(phase_, value_, status_);
+  const bool repeat = last_sent_.has_value() && *last_sent_ == state_key;
+  repeat_count_ = repeat ? repeat_count_ + 1 : 0;
+  if (repeat && cfg_.explicit_justification) {
+    d.justification = build_justification(/*with_root_evidence=*/
+                                          repeat_count_ >= 3);
+  }
+
+  if (mutator_) mutator_(d.main);
+  // Sign (reveal the one-time key) after any Byzantine mutation: insiders
+  // hold real keys and can authenticate any value in the allowed domain.
+  if (keys_.chain(id_).covers(d.main.phase) &&
+      crypto::ots_value_allowed(d.main.phase, d.main.value)) {
+    d.main.auth_sk = keys_.chain(id_).secret_key(d.main.phase, d.main.value);
+  }
+
+  last_sent_ = state_key;
+  ++stats_.broadcasts;
+  cpu_.charge(costs_.udp_send);
+  endpoint_.send(d.encode());
+  schedule_tick();
+}
+
+std::vector<Message> Process::build_justification(bool with_root_evidence) const {
+  std::vector<Message> out;
+
+  // Phase-1 evidence first (stall escalation only): every deeper
+  // validation chain (⊥ values, undecided statuses, converge majorities)
+  // bottoms out at phase-1 messages, which require no validation
+  // themselves — re-attaching them repairs receivers that missed the
+  // opening exchange and would otherwise be permanently unable to validate
+  // legitimate ⊥ states.
+  if (with_root_evidence && phase_ > 2) {
+    append_quorum(out, 1, Value::kZero, cfg_.half_quorum_size());
+    append_quorum(out, 1, Value::kOne, cfg_.half_quorum_size());
+  }
+
+  // Phase justification: a quorum at φ-1, or the message we jumped on.
+  if (phase_ > 1) {
+    if (cfg_.exceeds_quorum(view_.count_phase(phase_ - 1))) {
+      append_quorum(out, phase_ - 1, std::nullopt, cfg_.quorum_size());
+    } else if (jump_source_.has_value()) {
+      out.push_back(*jump_source_);
+    }
+  }
+
+  // Proposal-value justification, per the rule for this phase class.
+  switch (phase_ % 3) {
+    case 1:
+      if (phase_ > 1) {
+        if (from_coin_) {
+          append_quorum(out, phase_ - 1, Value::kBottom, cfg_.quorum_size());
+        } else {
+          append_quorum(out, phase_ - 2, value_, cfg_.quorum_size());
+        }
+      }
+      break;
+    case 2:
+      append_quorum(out, phase_ - 1, value_, cfg_.half_quorum_size());
+      break;
+    default:  // phase_ % 3 == 0
+      if (is_binary(value_)) {
+        append_quorum(out, phase_ - 1, value_, cfg_.quorum_size());
+      } else {
+        append_quorum(out, phase_ - 2, Value::kZero, cfg_.half_quorum_size());
+        append_quorum(out, phase_ - 2, Value::kOne, cfg_.half_quorum_size());
+      }
+      break;
+  }
+
+  // Status justification.
+  if (status_ == Status::kDecided && decide_phase_ >= 3) {
+    append_quorum(out, decide_phase_, value_, cfg_.quorum_size());
+  } else if (status_ == Status::kUndecided && phase_ > 3) {
+    const Phase lock = SemanticValidator::highest_lock_phase_below(phase_);
+    append_quorum(out, lock, Value::kZero, cfg_.half_quorum_size());
+    append_quorum(out, lock, Value::kOne, cfg_.half_quorum_size());
+    // Direct evidence of a non-uniform DECIDE quorum (see validation.cpp).
+    const Phase decide = SemanticValidator::highest_decide_phase_below(phase_);
+    append_quorum(out, decide, Value::kBottom, 1);
+    append_quorum(out, decide, Value::kZero, 1);
+    append_quorum(out, decide, Value::kOne, 1);
+  }
+
+  // Deduplicate by (sender, phase); justification messages never nest.
+  std::vector<Message> deduped;
+  for (Message& m : out) {
+    const bool dup = std::any_of(
+        deduped.begin(), deduped.end(), [&](const Message& existing) {
+          return existing.dedup_key() == m.dedup_key();
+        });
+    if (!dup) deduped.push_back(std::move(m));
+  }
+  // Keep the datagram within one MSDU (each attachment is ~47 bytes with
+  // its revealed key; the medium enforces the hard limit).
+  constexpr std::size_t kMaxAttachments = 42;
+  if (deduped.size() > kMaxAttachments) deduped.resize(kMaxAttachments);
+  return deduped;
+}
+
+void Process::append_quorum(std::vector<Message>& out, Phase phase,
+                            std::optional<Value> value,
+                            std::size_t want) const {
+  if (phase == 0) return;
+  const auto msgs = value.has_value()
+                        ? view_.messages_at_with_value(phase, *value, want)
+                        : view_.messages_at(phase);
+  std::size_t taken = 0;
+  for (const Message* m : msgs) {
+    if (taken == want) break;
+    out.push_back(*m);
+    ++taken;
+  }
+}
+
+// ---------------------------------------------------------------- task T2 --
+
+void Process::on_datagram(ProcessId src, const Bytes& payload) {
+  if (halted_) return;
+  if (!running_) {
+    prestart_.emplace_back(src, payload);  // OS buffer until propose()
+    return;
+  }
+  auto datagram = Datagram::decode(payload);
+  if (!datagram) return;  // malformed — Byzantine garbage
+  ++stats_.datagrams_received;
+
+  // Authenticating each contained message costs one hash; charge the CPU
+  // and process once the (virtual) verification work completes.
+  const std::size_t contained = 1 + datagram->justification.size();
+  const SimDuration cost =
+      costs_.udp_recv +
+      static_cast<SimDuration>(contained) * costs_.ots_verify();
+  cpu_.execute(cost, [this, src, d = std::move(*datagram)] {
+    if (!running_) return;
+    (void)src;
+    for (const Message& m : d.justification) ingest(m);
+    ingest(d.main);
+    const Phase before = phase_;
+    bool grew = drain_pending();
+    while (grew) {
+      const bool advanced = run_transitions();
+      maybe_decide();
+      // Transitions may make previously pending messages valid.
+      grew = advanced && drain_pending();
+    }
+    // A phase change acts as an immediate clock tick (one broadcast even if
+    // several phases cascaded).
+    if (phase_ != before) broadcast_state();
+  });
+}
+
+void Process::ingest(const Message& m) {
+  if (m.sender >= cfg_.n || m.phase == 0 || m.phase > cfg_.max_phase) return;
+  if (view_.has(m.sender, m.phase)) return;
+  // Pending deduplication is by full content, not (sender, phase): the
+  // status field is not covered by the one-time signature, so an attacker
+  // can replay an honest message with a mutated status (§6.1 caveat). Both
+  // variants must stay candidates; only a semantically valid one reaches V.
+  const bool already_pending =
+      std::any_of(pending_.begin(), pending_.end(),
+                  [&](const Message& p) { return p == m; });
+  if (already_pending) return;
+  if (!authentic(keys_, cfg_, m)) {
+    ++stats_.auth_failures;
+    return;
+  }
+  ++stats_.messages_authenticated;
+  claimed_[m.sender] = std::max(claimed_[m.sender], m.phase);
+  corroboration_[{m.phase, static_cast<std::uint8_t>(m.value)}] |=
+      1ULL << m.sender;
+  pending_.push_back(m);
+  if (pending_.size() > kMaxPending) prune_pending();
+  stats_.still_pending = std::max(stats_.still_pending,
+                                  static_cast<std::uint64_t>(pending_.size()));
+}
+
+bool Process::drain_pending() {
+  bool any = false;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const SemanticValidator validator(cfg_, view_, &claimed_, &corroboration_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (validator.valid(*it)) {
+        if (view_.insert(*it)) {
+          ++stats_.accepted;
+          any = true;
+        }
+        it = pending_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!progress && cfg_.decision_certificates) {
+      progress = apply_decision_certificates();
+      any = any || progress;
+    }
+  }
+  return any;
+}
+
+bool Process::apply_decision_certificates() {
+  // A quorum of authentic messages agreeing on (DECIDE phase, binary value)
+  // is self-certifying: quorum intersection places a correct process that
+  // validly reached that state inside any such set (DESIGN.md §5). Count
+  // distinct senders across V and the pending pool, then admit the pending
+  // members wholesale.
+  bool inserted = false;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Message& seed = pending_[i];
+    if (seed.phase % 3 != 0 || !is_binary(seed.value)) continue;
+    std::uint64_t senders_mask = 0;  // n <= 64 in all deployments here
+    std::size_t count = view_.count_phase_value(seed.phase, seed.value);
+    for (const Message& m : pending_) {
+      if (m.phase != seed.phase || m.value != seed.value) continue;
+      if (m.sender < 64 && !view_.has(m.sender, m.phase)) {
+        const std::uint64_t bit = 1ULL << m.sender;
+        if ((senders_mask & bit) == 0) {
+          senders_mask |= bit;
+          ++count;
+        }
+      }
+    }
+    if (!cfg_.exceeds_quorum(count)) continue;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->phase == seed.phase && it->value == seed.value) {
+        if (view_.insert(*it)) {
+          ++stats_.accepted;
+          inserted = true;
+        }
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    break;  // restart the fixpoint with the grown view
+  }
+  return inserted;
+}
+
+void Process::prune_pending() {
+  // Drop entries far below the current phase; they can no longer matter.
+  const Phase floor = phase_ > 6 ? phase_ - 6 : 1;
+  std::erase_if(pending_, [&](const Message& m) { return m.phase < floor; });
+  // Still oversized (e.g. a flood of future phases): drop the farthest.
+  if (pending_.size() > kMaxPending) {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Message& a, const Message& b) { return a.phase < b.phase; });
+    pending_.resize(kMaxPending / 2);
+  }
+}
+
+bool Process::run_transitions() {
+  bool changed_any = false;
+  for (;;) {
+    // Lines 10-18: adopt the state of a valid higher-phase message.
+    const Message* highest = view_.highest_phase_message();
+    if (highest != nullptr && highest->phase > phase_) {
+      adopt(*highest);
+      changed_any = true;
+      continue;
+    }
+    // Lines 19-39: quorum of messages at the current phase.
+    if (cfg_.exceeds_quorum(view_.count_phase(phase_))) {
+      quorum_transition();
+      changed_any = true;
+      continue;
+    }
+    break;
+  }
+  return changed_any;
+}
+
+void Process::adopt(const Message& m) {
+  ++stats_.phase_jumps;
+  phase_ = m.phase;
+  if (phase_ % 3 == 1 && m.from_coin) {
+    // Line 12-13: a coin-derived value cannot be trusted from others
+    // (Byzantine coins are not fair) — flip locally instead.
+    ++stats_.coin_flips;
+    value_ = binary_value(rng_.coin());
+    from_coin_ = true;
+  } else {
+    value_ = m.value;
+    from_coin_ = m.from_coin;
+  }
+  status_ = m.status;
+  jump_source_ = m;
+}
+
+void Process::quorum_transition() {
+  ++stats_.quorum_transitions;
+  switch (phase_ % 3) {
+    case 1: {  // CONVERGE (lines 20-21)
+      value_ = view_.majority_value(phase_);
+      from_coin_ = false;
+      break;
+    }
+    case 2: {  // LOCK (lines 22-27)
+      const auto locked = view_.binary_value_where(
+          phase_, [&](std::size_t c) { return cfg_.exceeds_quorum(c); });
+      value_ = locked.value_or(Value::kBottom);
+      from_coin_ = false;
+      break;
+    }
+    default: {  // DECIDE (lines 28-37)
+      const auto winner = view_.binary_value_where(
+          phase_, [&](std::size_t c) { return cfg_.exceeds_quorum(c); });
+      if (winner.has_value()) {
+        status_ = Status::kDecided;
+        decide_phase_ = phase_;
+      }
+      const auto present = view_.binary_value_where(
+          phase_, [](std::size_t c) { return c >= 1; });
+      if (present.has_value()) {
+        // Prefer the quorum value when both are nominally present (only
+        // possible under validator edge cases; deterministic either way).
+        value_ = winner.value_or(*present);
+        from_coin_ = false;
+      } else {
+        ++stats_.coin_flips;
+        value_ = binary_value(rng_.coin());
+        from_coin_ = true;
+      }
+      break;
+    }
+  }
+  phase_ += 1;  // line 38
+  jump_source_.reset();
+}
+
+std::string Process::explain_pending() const {
+  const SemanticValidator validator(cfg_, view_);
+  std::string out;
+  for (const Message& m : pending_) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  <s=%u phi=%u v=%s st=%s coin=%d> phase=%d value=%d status=%d\n",
+                  m.sender, m.phase, to_string(m.value).c_str(),
+                  to_string(m.status).c_str(), m.from_coin ? 1 : 0,
+                  validator.phase_valid(m) ? 1 : 0,
+                  validator.value_valid(m) ? 1 : 0,
+                  validator.status_valid(m) ? 1 : 0);
+    out += line;
+  }
+  return out;
+}
+
+void Process::maybe_decide() {
+  // Lines 40-42, with the write-once decision variable.
+  if (status_ != Status::kDecided || decision_.has_value()) return;
+  TURQ_ASSERT_MSG(is_binary(value_), "decided on a non-binary value");
+  decision_ = value_;
+  TURQ_DEBUG("p%u decided %s at phase %u t=%.3fms", id_,
+             to_string(value_).c_str(), phase_, to_milliseconds(sim_.now()));
+  if (on_decide_) on_decide_(*decision_, phase_, sim_.now());
+}
+
+}  // namespace turq::turquois

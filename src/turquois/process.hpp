@@ -1,0 +1,146 @@
+// The Turquois process: Algorithm 1 of the paper.
+//
+// Two tasks drive the protocol:
+//   T1 — on every local clock tick (10 ms by default, or immediately after a
+//        phase change) broadcast ⟨i, φ_i, v_i, status_i⟩;
+//   T2 — on message arrival, authenticate and semantically validate it
+//        (pending messages are retried as V grows, which subsumes explicit
+//        justification), then apply the state-transition rules:
+//        jump to a higher phase carried by a valid message, or, with more
+//        than (n+f)/2 messages at the current phase, run the
+//        CONVERGE / LOCK / DECIDE transition and advance one phase.
+//
+// A `mutate_outgoing` hook lets the adversary module install the paper's
+// Byzantine strategies; the mutated message is re-signed with the process's
+// own one-time keys (Byzantine processes are insiders and hold real keys).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/cost_model.hpp"
+#include "net/broadcast_endpoint.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "turquois/config.hpp"
+#include "turquois/key_infra.hpp"
+#include "turquois/message.hpp"
+#include "turquois/validation.hpp"
+#include "turquois/view.hpp"
+
+namespace turq::turquois {
+
+class Process {
+ public:
+  /// Decision callback: value, the phase at which it was reached, sim time.
+  using DecideHandler = std::function<void(Value, Phase, SimTime)>;
+  /// Byzantine strategy hook, applied to every outgoing main message before
+  /// it is signed. Must keep (phase, value) inside the one-time key domain.
+  using Mutator = std::function<void(Message&)>;
+
+  Process(sim::Simulator& simulator, net::BroadcastEndpoint& endpoint,
+          sim::VirtualCpu& cpu, const Config& config,
+          const KeyInfrastructure& keys, ProcessId id, Rng rng,
+          const crypto::CostModel& costs);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Sets the initial proposal and starts task T1. May be called once.
+  void propose(Value initial);
+
+  /// Halts all activity (fail-stop).
+  void crash();
+
+  void set_on_decide(DecideHandler handler) { on_decide_ = std::move(handler); }
+  void set_mutator(Mutator mutator) { mutator_ = std::move(mutator); }
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] Value value() const { return value_; }
+  [[nodiscard]] Status status() const { return status_; }
+  [[nodiscard]] bool decided() const { return decision_.has_value(); }
+  [[nodiscard]] Value decision() const { return *decision_; }
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] const View& view() const { return view_; }
+
+  struct Stats {
+    std::uint64_t broadcasts = 0;
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t messages_authenticated = 0;
+    std::uint64_t auth_failures = 0;
+    std::uint64_t accepted = 0;           // moved into V
+    std::uint64_t still_pending = 0;      // high-water mark of pending pool
+    std::uint64_t quorum_transitions = 0;
+    std::uint64_t phase_jumps = 0;
+    std::uint64_t coin_flips = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Human-readable dump of the pending pool and which validation rule each
+  /// entry currently fails — diagnostics for tests and debugging.
+  [[nodiscard]] std::string explain_pending() const;
+
+ private:
+  // T1.
+  void on_tick();
+  void broadcast_state();
+  void schedule_tick();
+
+  // T2.
+  void on_datagram(ProcessId src, const Bytes& payload);
+  void ingest(const Message& m);          // authenticate + stage as pending
+  bool drain_pending();                   // fixpoint; true if V grew
+  bool apply_decision_certificates();     // collective quorum acceptance
+  bool run_transitions();                 // lines 10-39; true if state changed
+  void adopt(const Message& m);           // lines 11-17
+  void quorum_transition();               // lines 20-38
+  void maybe_decide();                    // lines 40-42
+  void prune_pending();
+
+  [[nodiscard]] std::vector<Message> build_justification(
+      bool with_root_evidence) const;
+  void append_quorum(std::vector<Message>& out, Phase phase,
+                     std::optional<Value> value, std::size_t want) const;
+
+  sim::Simulator& sim_;
+  net::BroadcastEndpoint& endpoint_;
+  sim::VirtualCpu& cpu_;
+  const Config& cfg_;
+  const KeyInfrastructure& keys_;
+  ProcessId id_;
+  Rng rng_;
+  const crypto::CostModel& costs_;
+
+  // Algorithm state (lines 1-4).
+  Phase phase_ = 1;
+  Value value_ = Value::kZero;
+  Status status_ = Status::kUndecided;
+  bool from_coin_ = false;
+  View view_;
+  std::optional<Value> decision_;
+  Phase decide_phase_ = 0;
+
+  std::vector<Message> pending_;            // authentic, not yet semantically valid
+  std::vector<Phase> claimed_;              // per-sender max authentic phase
+  CorroborationIndex corroboration_;        // senders per (phase, value)
+  std::optional<Message> jump_source_;      // justification for a jumped phase
+  bool running_ = false;
+  bool halted_ = false;
+  bool proposed_ = false;
+  std::vector<std::pair<ProcessId, Bytes>> prestart_;
+  sim::EventId tick_timer_ = sim::kInvalidEvent;
+
+  // Explicit-justification trigger: last broadcast state and how many
+  // consecutive ticks re-sent it (escalation counter).
+  std::optional<std::tuple<Phase, Value, Status>> last_sent_;
+  std::uint32_t repeat_count_ = 0;
+
+  DecideHandler on_decide_;
+  Mutator mutator_;
+  Stats stats_;
+};
+
+}  // namespace turq::turquois

@@ -1,0 +1,89 @@
+#include "turquois/view.hpp"
+
+namespace turq::turquois {
+
+bool View::insert(const Message& m) {
+  PhaseBook& book = phases_[m.phase];
+  const auto [it, inserted] = book.by_sender.emplace(m.sender, m);
+  if (!inserted) return false;
+  ++book.value_count[static_cast<std::size_t>(m.value)];
+  ++total_;
+  if (highest_ == nullptr || m.phase > highest_->phase ||
+      (m.phase == highest_->phase && m.sender < highest_->sender)) {
+    highest_ = &it->second;
+  }
+  return true;
+}
+
+bool View::has(ProcessId sender, Phase phase) const {
+  const auto it = phases_.find(phase);
+  return it != phases_.end() && it->second.by_sender.contains(sender);
+}
+
+std::size_t View::count_phase(Phase phase) const {
+  const auto it = phases_.find(phase);
+  return it == phases_.end() ? 0 : it->second.by_sender.size();
+}
+
+std::size_t View::count_phase_value(Phase phase, Value v) const {
+  const auto it = phases_.find(phase);
+  return it == phases_.end()
+             ? 0
+             : it->second.value_count[static_cast<std::size_t>(v)];
+}
+
+std::size_t View::count_phase_at_least(Phase phase) const {
+  // Distinct senders with any message at phase >= `phase`.
+  std::uint64_t seen_mask_small = 0;  // fast path for sender ids < 64
+  std::vector<ProcessId> seen_large;
+  std::size_t count = 0;
+  for (auto it = phases_.lower_bound(phase); it != phases_.end(); ++it) {
+    for (const auto& [sender, msg] : it->second.by_sender) {
+      if (sender < 64) {
+        const std::uint64_t bit = 1ULL << sender;
+        if (seen_mask_small & bit) continue;
+        seen_mask_small |= bit;
+        ++count;
+      } else {
+        bool dup = false;
+        for (const ProcessId s : seen_large) dup |= (s == sender);
+        if (dup) continue;
+        seen_large.push_back(sender);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+Value View::majority_value(Phase phase) const {
+  const std::size_t zeros = count_phase_value(phase, Value::kZero);
+  const std::size_t ones = count_phase_value(phase, Value::kOne);
+  return zeros > ones ? Value::kZero : Value::kOne;
+}
+
+const Message* View::highest_phase_message() const { return highest_; }
+
+std::vector<const Message*> View::messages_at(Phase phase) const {
+  std::vector<const Message*> out;
+  const auto it = phases_.find(phase);
+  if (it == phases_.end()) return out;
+  out.reserve(it->second.by_sender.size());
+  for (const auto& [sender, msg] : it->second.by_sender) out.push_back(&msg);
+  return out;
+}
+
+std::vector<const Message*> View::messages_at_with_value(
+    Phase phase, Value v, std::size_t limit) const {
+  std::vector<const Message*> out;
+  const auto it = phases_.find(phase);
+  if (it == phases_.end()) return out;
+  for (const auto& [sender, msg] : it->second.by_sender) {
+    if (msg.value != v) continue;
+    out.push_back(&msg);
+    if (out.size() == limit) break;
+  }
+  return out;
+}
+
+}  // namespace turq::turquois

@@ -1,0 +1,75 @@
+// The set V_i of valid messages accumulated by a process, with the
+// counting queries the algorithm and the semantic validator need.
+//
+// V keeps at most one message per (sender, phase): a correct process's
+// state within a phase is constant, so a second, different message from the
+// same sender at the same phase is Byzantine equivocation and is ignored.
+// This also keeps all quorum counts bounded by n, which the intersection
+// arguments behind the (n+f)/2 thresholds rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "turquois/message.hpp"
+
+namespace turq::turquois {
+
+class View {
+ public:
+  /// Inserts a validated message. Returns false on duplicate (sender, phase).
+  bool insert(const Message& m);
+
+  /// True if a message from `sender` at `phase` is already present.
+  [[nodiscard]] bool has(ProcessId sender, Phase phase) const;
+
+  /// Number of messages with exactly this phase.
+  [[nodiscard]] std::size_t count_phase(Phase phase) const;
+
+  /// Number of messages with this phase carrying value v.
+  [[nodiscard]] std::size_t count_phase_value(Phase phase, Value v) const;
+
+  /// Number of distinct senders with any message at phase >= `phase`.
+  [[nodiscard]] std::size_t count_phase_at_least(Phase phase) const;
+
+  /// The majority binary value among messages at `phase` (ties -> kOne,
+  /// a fixed deterministic rule; any fixed rule preserves correctness).
+  [[nodiscard]] Value majority_value(Phase phase) const;
+
+  /// A binary value v with count(phase, v) satisfying `pred`, if any.
+  template <typename Pred>
+  [[nodiscard]] std::optional<Value> binary_value_where(Phase phase,
+                                                        Pred pred) const {
+    for (const Value v : {Value::kZero, Value::kOne}) {
+      if (pred(count_phase_value(phase, v))) return v;
+    }
+    return std::nullopt;
+  }
+
+  /// The message with the highest phase (ties -> lowest sender), if any.
+  [[nodiscard]] const Message* highest_phase_message() const;
+
+  /// All messages at `phase` (for justification assembly).
+  [[nodiscard]] std::vector<const Message*> messages_at(Phase phase) const;
+
+  /// Up to `limit` messages at `phase` carrying value v.
+  [[nodiscard]] std::vector<const Message*> messages_at_with_value(
+      Phase phase, Value v, std::size_t limit) const;
+
+  [[nodiscard]] std::size_t size() const { return total_; }
+
+ private:
+  struct PhaseBook {
+    std::map<ProcessId, Message> by_sender;
+    std::size_t value_count[3] = {0, 0, 0};
+  };
+
+  std::map<Phase, PhaseBook> phases_;
+  std::size_t total_ = 0;
+  const Message* highest_ = nullptr;
+};
+
+}  // namespace turq::turquois

@@ -1,0 +1,300 @@
+// Integration tests for the Bracha and ABBA baselines over the simulated
+// medium with TCP-like transports.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/abba/abba.hpp"
+#include "baselines/bracha/bracha.hpp"
+#include "common/rng.hpp"
+#include "crypto/cost_model.hpp"
+#include "net/fault_injector.hpp"
+#include "net/medium.hpp"
+#include "net/reliable_channel.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace turq {
+namespace {
+
+template <typename Proc>
+void check_agreement_validity(const std::vector<std::unique_ptr<Proc>>& procs,
+                              const std::vector<ProcessId>& correct,
+                              const std::vector<Value>& proposals) {
+  std::optional<Value> agreed;
+  for (const ProcessId id : correct) {
+    ASSERT_TRUE(procs[id]->decided()) << "p" << id << " undecided";
+    const Value v = procs[id]->decision();
+    EXPECT_TRUE(is_binary(v));
+    if (agreed.has_value()) EXPECT_EQ(*agreed, v) << "agreement broken";
+    agreed = v;
+    EXPECT_NE(std::find(proposals.begin(), proposals.end(), v),
+              proposals.end())
+        << "validity broken";
+  }
+}
+
+// ------------------------------------------------------------------ Bracha
+
+struct BrachaRig {
+  sim::Simulator sim;
+  net::Medium medium;
+  crypto::CostModel costs;
+  bracha::Config cfg;
+  std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
+  std::vector<std::unique_ptr<net::TcpHost>> hosts;
+  std::vector<std::unique_ptr<bracha::Process>> procs;
+
+  explicit BrachaRig(std::uint32_t n, std::uint64_t seed = 1,
+                     std::vector<bracha::Strategy> strategies = {})
+      : medium(sim, net::MediumConfig{}, Rng(seed)),
+        cfg(bracha::Config::for_group(n)) {
+    net::TcpConfig tcp;
+    tcp.authenticate = true;
+    Rng root(seed);
+    for (ProcessId id = 0; id < n; ++id) {
+      cpus.push_back(std::make_unique<sim::VirtualCpu>(sim));
+      hosts.push_back(std::make_unique<net::TcpHost>(
+          sim, medium, id, tcp, cpus.back().get(), &costs));
+      const auto strategy = id < strategies.size() ? strategies[id]
+                                                   : bracha::Strategy::kHonest;
+      procs.push_back(std::make_unique<bracha::Process>(
+          sim, *hosts.back(), *cpus.back(), cfg, id, root.derive("p", id),
+          costs, strategy));
+    }
+    for (auto& h : hosts) {
+      for (ProcessId peer = 0; peer < n; ++peer) {
+        h->set_peer_key(peer, Bytes(32, 0x55));
+      }
+    }
+  }
+
+  bool run_until_decided(const std::vector<ProcessId>& who,
+                         SimDuration timeout = 120 * kSecond) {
+    while (sim.now() < timeout) {
+      bool all = true;
+      for (const ProcessId id : who) all = all && procs[id]->decided();
+      if (all) return true;
+      sim.run_until(sim.now() + 5 * kMillisecond);
+    }
+    return false;
+  }
+};
+
+TEST(Bracha, UnanimousDecidesProposedValue) {
+  BrachaRig rig(4, 2);
+  for (auto& p : rig.procs) p->propose(Value::kZero);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all));
+  for (const ProcessId id : all) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kZero);
+  }
+}
+
+TEST(Bracha, DivergentReachesAgreement) {
+  BrachaRig rig(7, 3);
+  std::vector<Value> proposals;
+  for (ProcessId id = 0; id < 7; ++id) {
+    proposals.push_back(id % 2 ? Value::kOne : Value::kZero);
+    rig.procs[id]->propose(proposals.back());
+  }
+  std::vector<ProcessId> all = {0, 1, 2, 3, 4, 5, 6};
+  ASSERT_TRUE(rig.run_until_decided(all));
+  check_agreement_validity(rig.procs, all, proposals);
+}
+
+TEST(Bracha, ToleratesCrashedProcesses) {
+  BrachaRig rig(7, 4);
+  const std::vector<ProcessId> alive = {0, 1, 2, 3, 4};
+  for (ProcessId dead = 5; dead < 7; ++dead) {
+    rig.procs[dead]->crash();
+    for (const ProcessId a : alive) rig.hosts[a]->disconnect_peer(dead);
+  }
+  for (const ProcessId id : alive) rig.procs[id]->propose(Value::kOne);
+  ASSERT_TRUE(rig.run_until_decided(alive));
+  for (const ProcessId id : alive) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kOne);
+  }
+}
+
+TEST(Bracha, ValueInversionCannotBreakValidity) {
+  // All correct processes propose 1; f attackers push 0. The decision must
+  // still be 1 — this is exactly what the lower-step plausibility gates
+  // protect (see bracha.hpp).
+  for (const std::uint64_t seed : {5u, 6u, 7u}) {
+    BrachaRig rig(7, seed,
+                  {bracha::Strategy::kHonest, bracha::Strategy::kHonest,
+                   bracha::Strategy::kHonest, bracha::Strategy::kHonest,
+                   bracha::Strategy::kHonest, bracha::Strategy::kValueInversion,
+                   bracha::Strategy::kValueInversion});
+    for (auto& p : rig.procs) p->propose(Value::kOne);
+    const std::vector<ProcessId> correct = {0, 1, 2, 3, 4};
+    ASSERT_TRUE(rig.run_until_decided(correct)) << "seed " << seed;
+    for (const ProcessId id : correct) {
+      EXPECT_EQ(rig.procs[id]->decision(), Value::kOne) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Bracha, SurvivesLossyChannel) {
+  BrachaRig rig(4, 8);
+  net::IidLoss loss(0.15, Rng(99));
+  rig.medium.set_fault_injector(&loss);
+  std::vector<Value> proposals = {Value::kZero, Value::kOne, Value::kZero,
+                                  Value::kOne};
+  for (ProcessId id = 0; id < 4; ++id) rig.procs[id]->propose(proposals[id]);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all, 300 * kSecond));
+  check_agreement_validity(rig.procs, all, proposals);
+}
+
+// -------------------------------------------------------------------- ABBA
+
+struct AbbaRig {
+  sim::Simulator sim;
+  net::Medium medium;
+  crypto::CostModel costs;
+  abba::Config cfg;
+  abba::Dealer dealer;
+  std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
+  std::vector<std::unique_ptr<net::TcpHost>> hosts;
+  std::vector<std::unique_ptr<abba::Process>> procs;
+
+  static abba::Dealer make_dealer(const abba::Config& c, std::uint64_t seed) {
+    Rng rng(seed);
+    return abba::Dealer::setup(c, rng);
+  }
+
+  explicit AbbaRig(std::uint32_t n, std::uint64_t seed = 1,
+                   std::vector<abba::Strategy> strategies = {})
+      : medium(sim, net::MediumConfig{}, Rng(seed)),
+        cfg(abba::Config::for_group(n)),
+        dealer(make_dealer(cfg, seed)) {
+    Rng root(seed);
+    for (ProcessId id = 0; id < n; ++id) {
+      cpus.push_back(std::make_unique<sim::VirtualCpu>(sim));
+      hosts.push_back(std::make_unique<net::TcpHost>(
+          sim, medium, id, net::TcpConfig{}, cpus.back().get(), &costs));
+      const auto strategy =
+          id < strategies.size() ? strategies[id] : abba::Strategy::kHonest;
+      procs.push_back(std::make_unique<abba::Process>(
+          sim, *hosts.back(), *cpus.back(), cfg, dealer, id,
+          root.derive("p", id), costs, strategy));
+    }
+  }
+
+  bool run_until_decided(const std::vector<ProcessId>& who,
+                         SimDuration timeout = 120 * kSecond) {
+    while (sim.now() < timeout) {
+      bool all = true;
+      for (const ProcessId id : who) all = all && procs[id]->decided();
+      if (all) return true;
+      sim.run_until(sim.now() + 5 * kMillisecond);
+    }
+    return false;
+  }
+};
+
+TEST(Abba, UnanimousDecidesInRoundOne) {
+  AbbaRig rig(4, 2);
+  for (auto& p : rig.procs) p->propose(Value::kOne);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all));
+  for (const ProcessId id : all) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kOne);
+    EXPECT_LE(rig.procs[id]->round(), 2u);
+  }
+}
+
+TEST(Abba, DivergentTerminatesWithAgreement) {
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    AbbaRig rig(7, seed);
+    std::vector<Value> proposals;
+    for (ProcessId id = 0; id < 7; ++id) {
+      proposals.push_back(id % 2 ? Value::kOne : Value::kZero);
+      rig.procs[id]->propose(proposals.back());
+    }
+    std::vector<ProcessId> all = {0, 1, 2, 3, 4, 5, 6};
+    ASSERT_TRUE(rig.run_until_decided(all)) << "seed " << seed;
+    check_agreement_validity(rig.procs, all, proposals);
+  }
+}
+
+TEST(Abba, ToleratesCrashedProcesses) {
+  AbbaRig rig(10, 6);
+  const std::vector<ProcessId> alive = {0, 1, 2, 3, 4, 5, 6};
+  for (ProcessId dead = 7; dead < 10; ++dead) {
+    rig.procs[dead]->crash();
+    for (const ProcessId a : alive) rig.hosts[a]->disconnect_peer(dead);
+  }
+  for (const ProcessId id : alive) rig.procs[id]->propose(Value::kZero);
+  ASSERT_TRUE(rig.run_until_decided(alive));
+  for (const ProcessId id : alive) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kZero);
+  }
+}
+
+TEST(Abba, InvalidCryptoAttackersCannotStopDecision) {
+  AbbaRig rig(7, 9,
+              {abba::Strategy::kHonest, abba::Strategy::kHonest,
+               abba::Strategy::kHonest, abba::Strategy::kHonest,
+               abba::Strategy::kHonest, abba::Strategy::kInvalidCrypto,
+               abba::Strategy::kInvalidCrypto});
+  for (auto& p : rig.procs) p->propose(Value::kOne);
+  const std::vector<ProcessId> correct = {0, 1, 2, 3, 4};
+  ASSERT_TRUE(rig.run_until_decided(correct));
+  for (const ProcessId id : correct) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kOne);
+    // The attack's cost shows up as rejected shares.
+    EXPECT_GT(rig.procs[id]->stats().share_verify_failures, 0u);
+  }
+}
+
+TEST(Abba, CoinSharesCombineOnAbstainPath) {
+  // With a value split and unlucky interleaving, some round ends all-abstain
+  // and the common coin fires. Run several seeds and require at least one
+  // coin flip across them (statistically near-certain).
+  std::uint64_t coin_flips = 0;
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    AbbaRig rig(4, seed);
+    for (ProcessId id = 0; id < 4; ++id) {
+      rig.procs[id]->propose(id % 2 ? Value::kOne : Value::kZero);
+    }
+    std::vector<ProcessId> all = {0, 1, 2, 3};
+    ASSERT_TRUE(rig.run_until_decided(all)) << "seed " << seed;
+    for (const ProcessId id : all) {
+      coin_flips += rig.procs[id]->stats().coin_flips;
+    }
+  }
+  EXPECT_GT(coin_flips, 0u);
+}
+
+class BaselineSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineSeeds, BrachaDivergentSafetySweep) {
+  BrachaRig rig(4, GetParam());
+  std::vector<Value> proposals = {Value::kZero, Value::kOne, Value::kZero,
+                                  Value::kOne};
+  for (ProcessId id = 0; id < 4; ++id) rig.procs[id]->propose(proposals[id]);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all, 300 * kSecond));
+  check_agreement_validity(rig.procs, all, proposals);
+}
+
+TEST_P(BaselineSeeds, AbbaDivergentSafetySweep) {
+  AbbaRig rig(4, GetParam());
+  std::vector<Value> proposals = {Value::kZero, Value::kOne, Value::kZero,
+                                  Value::kOne};
+  for (ProcessId id = 0; id < 4; ++id) rig.procs[id]->propose(proposals[id]);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all, 300 * kSecond));
+  check_agreement_validity(rig.procs, all, proposals);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, BaselineSeeds,
+                         ::testing::Range<std::uint64_t>(100, 108));
+
+}  // namespace
+}  // namespace turq

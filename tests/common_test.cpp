@@ -1,0 +1,205 @@
+// Unit tests for the common utilities: RNG, serialization, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace turq {
+namespace {
+
+// --------------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool all_equal = true;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) all_equal = all_equal && (a2.next() == c.next());
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(9);
+  int counts[8] = {};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 80);  // within 10%
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(9);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.coin() ? 1 : 0;
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits, 5000, 300);
+}
+
+TEST(Rng, DerivedStreamsAreIndependent) {
+  Rng root(55);
+  Rng a = root.derive("medium", 0);
+  Rng b = root.derive("medium", 1);
+  Rng c = root.derive("process", 0);
+  EXPECT_NE(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+  // Derivation is deterministic: same tag/index gives the same stream.
+  Rng fresh1 = root.derive("medium", 0);
+  Rng fresh2 = root.derive("medium", 0);
+  EXPECT_EQ(fresh1.next(), fresh2.next());
+  EXPECT_EQ(fresh1.next(), fresh2.next());
+}
+
+// ----------------------------------------------------------- serialization
+
+TEST(Serialize, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Serialize, BytesAndStringRoundTrip) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes({});  // empty
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, TruncatedInputFailsCleanly) {
+  Writer w;
+  w.u64(7);
+  const Bytes& full = w.data();
+  Reader r(BytesView(full.data(), 5));
+  EXPECT_FALSE(r.u64().has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, OversizedLengthPrefixRejected) {
+  Writer w;
+  w.u32(1000000);  // claims 1 MB follows
+  w.u8(1);
+  Reader r(w.data());
+  EXPECT_FALSE(r.bytes().has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, RawReads) {
+  Writer w;
+  w.raw(Bytes{9, 8, 7});
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(2), (Bytes{9, 8}));
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_FALSE(r.raw(2).has_value());
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndStddev) {
+  SampleStats s;
+  s.add_all({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev (n-1)
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, Ci95UsesStudentT) {
+  SampleStats s;
+  s.add_all({10, 12, 14});  // mean 12, sd 2, se 1.1547, t(2) = 4.303
+  EXPECT_NEAR(s.ci95_half_width(), 4.303 * 2.0 / std::sqrt(3.0), 0.01);
+}
+
+TEST(Stats, Ci95DegenerateCases) {
+  SampleStats s;
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);  // zero variance
+}
+
+TEST(Stats, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Stats, TQuantileTable) {
+  EXPECT_NEAR(t_quantile_975(1), 12.706, 0.001);
+  EXPECT_NEAR(t_quantile_975(10), 2.228, 0.001);
+  EXPECT_NEAR(t_quantile_975(30), 2.042, 0.001);
+  EXPECT_NEAR(t_quantile_975(1000), 1.960, 0.001);
+}
+
+TEST(Types, DurationConversions) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_milliseconds(1500 * kMicrosecond), 1.5);
+}
+
+TEST(Types, ValueHelpers) {
+  EXPECT_TRUE(is_binary(Value::kZero));
+  EXPECT_TRUE(is_binary(Value::kOne));
+  EXPECT_FALSE(is_binary(Value::kBottom));
+  EXPECT_EQ(opposite(Value::kZero), Value::kOne);
+  EXPECT_EQ(opposite(Value::kOne), Value::kZero);
+  EXPECT_EQ(opposite(Value::kBottom), Value::kBottom);
+  EXPECT_EQ(binary_value(true), Value::kOne);
+  EXPECT_EQ(binary_value(false), Value::kZero);
+}
+
+}  // namespace
+}  // namespace turq

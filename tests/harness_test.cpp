@@ -1,0 +1,154 @@
+// Tests for the experiment harness: every protocol under every fault load
+// must complete with safety intact, and the table machinery must format
+// results faithfully.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace turq::harness {
+namespace {
+
+ScenarioConfig quick(Protocol p, std::uint32_t n, ProposalDist dist,
+                     FaultLoad load) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.n = n;
+  cfg.distribution = dist;
+  cfg.fault_load = load;
+  cfg.repetitions = 3;
+  cfg.seed = 4207;
+  return cfg;
+}
+
+class HarnessGrid
+    : public ::testing::TestWithParam<std::tuple<Protocol, FaultLoad>> {};
+
+TEST_P(HarnessGrid, CompletesWithSafety) {
+  const auto [protocol, load] = GetParam();
+  const ScenarioResult r = run_scenario(
+      quick(protocol, 4, ProposalDist::kDivergent, load));
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_EQ(r.failed_runs, 0u);
+  EXPECT_FALSE(r.latency_ms.empty());
+  EXPECT_GT(r.mean(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAllLoads, HarnessGrid,
+    ::testing::Combine(::testing::Values(Protocol::kTurquois, Protocol::kAbba,
+                                         Protocol::kBracha),
+                       ::testing::Values(FaultLoad::kFailureFree,
+                                         FaultLoad::kFailStop,
+                                         FaultLoad::kByzantine)));
+
+TEST(Harness, UnanimousValidityEnforced) {
+  // Under the unanimous load every correct process proposes 1; deciding 0
+  // would be recorded as a validity violation. It must never happen.
+  for (const Protocol p :
+       {Protocol::kTurquois, Protocol::kAbba, Protocol::kBracha}) {
+    const ScenarioResult r = run_scenario(
+        quick(p, 4, ProposalDist::kUnanimous, FaultLoad::kByzantine));
+    EXPECT_EQ(r.safety_violations, 0u) << to_string(p);
+  }
+}
+
+TEST(Harness, LatencySamplesOnePerCorrectProcess) {
+  ScenarioConfig cfg = quick(Protocol::kTurquois, 7, ProposalDist::kUnanimous,
+                             FaultLoad::kFailureFree);
+  const RunResult r = run_once(cfg, 0);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_EQ(r.latencies_ms.size(), 7u);
+  for (const double l : r.latencies_ms) EXPECT_GT(l, 0.0);
+}
+
+TEST(Harness, FailStopExcludesCrashedFromSamples) {
+  ScenarioConfig cfg = quick(Protocol::kTurquois, 7, ProposalDist::kUnanimous,
+                             FaultLoad::kFailStop);
+  const RunResult r = run_once(cfg, 0);
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_EQ(r.latencies_ms.size(), 5u);  // n - f = 7 - 2
+  EXPECT_TRUE(r.k_decided);
+}
+
+TEST(Harness, RunsAreReproducible) {
+  const ScenarioConfig cfg = quick(Protocol::kTurquois, 4,
+                                   ProposalDist::kDivergent,
+                                   FaultLoad::kFailureFree);
+  const RunResult a = run_once(cfg, 1);
+  const RunResult b = run_once(cfg, 1);
+  EXPECT_EQ(a.latencies_ms, b.latencies_ms);
+  EXPECT_EQ(a.decision, b.decision);
+  // A different repetition index gives a different world.
+  const RunResult c = run_once(cfg, 2);
+  EXPECT_NE(a.latencies_ms, c.latencies_ms);
+}
+
+TEST(Harness, TurquoisFasterThanBaselines) {
+  // The paper's headline, at miniature scale.
+  const double turquois =
+      run_scenario(quick(Protocol::kTurquois, 7, ProposalDist::kUnanimous,
+                         FaultLoad::kFailureFree))
+          .mean();
+  const double abba =
+      run_scenario(quick(Protocol::kAbba, 7, ProposalDist::kUnanimous,
+                         FaultLoad::kFailureFree))
+          .mean();
+  const double bracha =
+      run_scenario(quick(Protocol::kBracha, 7, ProposalDist::kUnanimous,
+                         FaultLoad::kFailureFree))
+          .mean();
+  EXPECT_LT(turquois, abba);
+  EXPECT_LT(abba, bracha);
+}
+
+TEST(Harness, ByzantineLoadSlowsTurquoisDown) {
+  const double clean =
+      run_scenario(quick(Protocol::kTurquois, 7, ProposalDist::kDivergent,
+                         FaultLoad::kFailureFree))
+          .mean();
+  const double attacked =
+      run_scenario(quick(Protocol::kTurquois, 7, ProposalDist::kDivergent,
+                         FaultLoad::kByzantine))
+          .mean();
+  EXPECT_GT(attacked, clean * 0.8);  // must not be *faster* than clean
+}
+
+TEST(Table, FormatCell) {
+  ScenarioResult r;
+  r.latency_ms.add(10.0);
+  r.latency_ms.add(14.0);
+  // sd = sqrt(8), se = 2, t(1) = 12.706 -> half-width 25.41.
+  EXPECT_EQ(format_cell(r), "12.00 ± 25.41");
+
+  ScenarioResult empty;
+  empty.failed_runs = 3;
+  EXPECT_EQ(format_cell(empty), "n/a (3 failed)");
+
+  r.safety_violations = 1;
+  EXPECT_NE(format_cell(r).find("SAFETY"), std::string::npos);
+}
+
+TEST(Table, RunAndRenderSmallGrid) {
+  TableSpec spec;
+  spec.title = "test table";
+  spec.fault_load = FaultLoad::kFailureFree;
+  spec.group_sizes = {4};
+  spec.protocols = {Protocol::kTurquois};
+  spec.distributions = {ProposalDist::kUnanimous, ProposalDist::kDivergent};
+
+  ScenarioConfig base;
+  base.repetitions = 2;
+  base.seed = 99;
+  const auto results = run_table(spec, base);
+  ASSERT_EQ(results.size(), 2u);
+
+  const std::string rendered = render_table(spec, results);
+  EXPECT_NE(rendered.find("test table"), std::string::npos);
+  EXPECT_NE(rendered.find("n = 4"), std::string::npos);
+  EXPECT_NE(rendered.find("Turquois unanimous"), std::string::npos);
+  EXPECT_NE(rendered.find("Turquois divergent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace turq::harness

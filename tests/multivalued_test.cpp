@@ -1,0 +1,114 @@
+// Tests for the multi-valued consensus layer and leader election.
+#include <gtest/gtest.h>
+
+#include "crypto/cost_model.hpp"
+#include "net/fault_injector.hpp"
+#include "net/medium.hpp"
+#include "sim/simulator.hpp"
+#include "turquois/multivalued.hpp"
+
+namespace turq::turquois {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  Rng root;
+  net::Medium medium;
+  crypto::CostModel costs;
+  Config cfg;
+
+  explicit Rig(std::uint32_t n, std::uint64_t seed = 1)
+      : root(seed),
+        medium(sim, net::MediumConfig{}, root.derive("medium", 0)),
+        cfg(Config::for_group(n)) {}
+};
+
+TEST(MultiValued, UnanimousCandidatesWinVerbatim) {
+  Rig rig(4);
+  MultiValuedConsensus mvc(rig.sim, rig.medium, rig.cfg, /*bits=*/8,
+                           rig.root.derive("mvc", 0), rig.costs);
+  const auto r = mvc.run({42, 42, 42, 42});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.value, 42u);
+  EXPECT_EQ(r.rounds, 8u);
+}
+
+TEST(MultiValued, MixedCandidatesAgreeOnConsistentValue) {
+  Rig rig(4, 7);
+  MultiValuedConsensus mvc(rig.sim, rig.medium, rig.cfg, /*bits=*/4,
+                           rig.root.derive("mvc", 0), rig.costs);
+  const auto r = mvc.run({3, 9, 3, 12});
+  ASSERT_TRUE(r.completed);
+  EXPECT_LT(r.value, 16u);
+  EXPECT_EQ(r.rounds, 4u);
+}
+
+TEST(MultiValued, SharedHighBitsArePreserved) {
+  // All candidates share the top nibble 0xA; the agreed value must too
+  // (prefix validity: the shared prefix is unanimous in each bit round).
+  Rig rig(4, 11);
+  MultiValuedConsensus mvc(rig.sim, rig.medium, rig.cfg, /*bits=*/8,
+                           rig.root.derive("mvc", 0), rig.costs);
+  const auto r = mvc.run({0xA3, 0xA9, 0xA0, 0xAF});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.value >> 4, 0xAu);
+}
+
+TEST(MultiValued, SurvivesLoss) {
+  Rig rig(7, 13);
+  net::IidLoss loss(0.1, Rng(5));
+  rig.medium.set_fault_injector(&loss);
+  MultiValuedConsensus mvc(rig.sim, rig.medium, rig.cfg, /*bits=*/4,
+                           rig.root.derive("mvc", 0), rig.costs);
+  const auto r = mvc.run({1, 2, 3, 4, 5, 6, 7});
+  ASSERT_TRUE(r.completed);
+  EXPECT_LT(r.value, 16u);
+}
+
+TEST(LeaderElection, HonestUnanimityElectsTheNominee) {
+  Rig rig(4, 3);
+  const auto r = elect_leader(rig.sim, rig.medium, rig.cfg, {2, 2, 2, 2},
+                              rig.root.derive("el", 0), rig.costs);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.value, 2u);
+}
+
+TEST(LeaderElection, SelfNominationsElectSomeValidId) {
+  Rig rig(7, 5);
+  std::vector<ProcessId> noms = {0, 1, 2, 3, 4, 5, 6};
+  const auto r = elect_leader(rig.sim, rig.medium, rig.cfg, noms,
+                              rig.root.derive("el", 0), rig.costs);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LT(r.value, 7u);
+}
+
+TEST(LeaderElection, ByzantineNomineesCannotBlockElection) {
+  Rig rig(10, 17);
+  std::vector<ProcessId> noms = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<bool> byz(10, false);
+  byz[8] = byz[9] = true;
+  const auto r = elect_leader(rig.sim, rig.medium, rig.cfg, noms,
+                              rig.root.derive("el", 0), rig.costs, byz);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LT(r.value, 10u);
+}
+
+class MultiValuedSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiValuedSeeds, RandomCandidatesAlwaysAgree) {
+  Rig rig(4, GetParam());
+  Rng vals(GetParam() * 31 + 7);
+  MultiValuedConsensus mvc(rig.sim, rig.medium, rig.cfg, /*bits=*/6,
+                           rig.root.derive("mvc", 0), rig.costs);
+  std::vector<std::uint64_t> candidates;
+  for (int i = 0; i < 4; ++i) candidates.push_back(vals.uniform(64));
+  const auto r = mvc.run(candidates);
+  ASSERT_TRUE(r.completed) << "seed " << GetParam();
+  EXPECT_LT(r.value, 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiValuedSeeds,
+                         ::testing::Range<std::uint64_t>(40, 46));
+
+}  // namespace
+}  // namespace turq::turquois

@@ -1,0 +1,148 @@
+// Unit tests for the discrete-event simulator and virtual CPU.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace turq::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SimultaneousEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CancelAfterExecutionIsNoop) {
+  Simulator sim;
+  const EventId id = sim.schedule(10, [] {});
+  sim.run();
+  sim.cancel(id);  // must not crash or corrupt
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) sim.schedule(10, chain);
+  };
+  sim.schedule(10, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(100, [&] { ++fired; });
+
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);  // clock advances to the deadline when drained
+
+  sim.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilDoesNotRunPastDeadline) {
+  Simulator sim;
+  bool late_ran = false;
+  sim.schedule(100, [&] { late_ran = true; });
+  sim.run_until(99);
+  EXPECT_FALSE(late_ran);
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(20, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.schedule_at(12345, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(observed, 12345);
+}
+
+TEST(VirtualCpu, SerializesWork) {
+  Simulator sim;
+  VirtualCpu cpu(sim);
+  std::vector<SimTime> completions;
+  cpu.execute(100, [&] { completions.push_back(sim.now()); });
+  cpu.execute(50, [&] { completions.push_back(sim.now()); });
+  sim.run();
+  // Second job starts only after the first finishes.
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 150}));
+  EXPECT_EQ(cpu.total_busy(), 150);
+}
+
+TEST(VirtualCpu, ChargeDelaysLaterWork) {
+  Simulator sim;
+  VirtualCpu cpu(sim);
+  cpu.charge(200);
+  SimTime done = -1;
+  cpu.execute(10, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, 210);
+}
+
+TEST(VirtualCpu, IdleCpuStartsImmediately) {
+  Simulator sim;
+  VirtualCpu cpu(sim);
+  sim.schedule(500, [&] {
+    cpu.execute(10, [&] { EXPECT_EQ(sim.now(), 510); });
+  });
+  sim.run();
+  EXPECT_EQ(cpu.free_at(), 510);
+}
+
+TEST(VirtualCpu, ZeroCostExecutePreservesOrder) {
+  Simulator sim;
+  VirtualCpu cpu(sim);
+  std::vector<int> order;
+  cpu.execute(0, [&] { order.push_back(1); });
+  cpu.execute(0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace turq::sim

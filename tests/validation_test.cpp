@@ -1,0 +1,352 @@
+// Unit tests for the Turquois view (set V) and the §6 validation rules.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "turquois/config.hpp"
+#include "turquois/key_infra.hpp"
+#include "turquois/message.hpp"
+#include "turquois/validation.hpp"
+#include "turquois/view.hpp"
+
+namespace turq::turquois {
+namespace {
+
+Message msg(ProcessId sender, Phase phase, Value v,
+            Status status = Status::kUndecided, bool from_coin = false) {
+  return Message{.sender = sender,
+                 .phase = phase,
+                 .value = v,
+                 .status = status,
+                 .from_coin = from_coin,
+                 .auth_sk = {}};
+}
+
+/// Inserts one message per sender id starting at `first_sender`.
+void fill(View& view, Phase phase, Value v, std::size_t count,
+          ProcessId first_sender = 0, Status status = Status::kUndecided) {
+  for (std::size_t i = 0; i < count; ++i) {
+    view.insert(msg(first_sender + static_cast<ProcessId>(i), phase, v, status));
+  }
+}
+
+// -------------------------------------------------------------------- view
+
+TEST(View, CountsByPhaseAndValue) {
+  View v;
+  fill(v, 1, Value::kZero, 3, 0);
+  fill(v, 1, Value::kOne, 2, 3);
+  fill(v, 2, Value::kOne, 4, 0);
+  EXPECT_EQ(v.count_phase(1), 5u);
+  EXPECT_EQ(v.count_phase(2), 4u);
+  EXPECT_EQ(v.count_phase(3), 0u);
+  EXPECT_EQ(v.count_phase_value(1, Value::kZero), 3u);
+  EXPECT_EQ(v.count_phase_value(1, Value::kOne), 2u);
+  EXPECT_EQ(v.size(), 9u);
+}
+
+TEST(View, DeduplicatesPerSenderPhase) {
+  View v;
+  EXPECT_TRUE(v.insert(msg(1, 4, Value::kOne)));
+  EXPECT_FALSE(v.insert(msg(1, 4, Value::kZero)));  // equivocation ignored
+  EXPECT_TRUE(v.insert(msg(1, 5, Value::kZero)));   // new phase is fine
+  EXPECT_EQ(v.count_phase_value(4, Value::kOne), 1u);
+  EXPECT_EQ(v.count_phase_value(4, Value::kZero), 0u);
+}
+
+TEST(View, MajorityValueWithTieBreak) {
+  View v;
+  fill(v, 1, Value::kZero, 3, 0);
+  fill(v, 1, Value::kOne, 2, 3);
+  EXPECT_EQ(v.majority_value(1), Value::kZero);
+  fill(v, 1, Value::kOne, 1, 5);  // now 3-3
+  EXPECT_EQ(v.majority_value(1), Value::kOne);  // deterministic tie-break
+}
+
+TEST(View, HighestPhaseMessage) {
+  View v;
+  EXPECT_EQ(v.highest_phase_message(), nullptr);
+  v.insert(msg(2, 3, Value::kOne));
+  v.insert(msg(1, 7, Value::kZero));
+  v.insert(msg(3, 7, Value::kOne));
+  ASSERT_NE(v.highest_phase_message(), nullptr);
+  EXPECT_EQ(v.highest_phase_message()->phase, 7u);
+  EXPECT_EQ(v.highest_phase_message()->sender, 1u);  // lowest sender wins tie
+}
+
+TEST(View, CountPhaseAtLeastCountsDistinctSenders) {
+  View v;
+  v.insert(msg(0, 5, Value::kOne));
+  v.insert(msg(0, 9, Value::kOne));  // same sender, higher phase
+  v.insert(msg(1, 7, Value::kOne));
+  EXPECT_EQ(v.count_phase_at_least(5), 2u);
+  EXPECT_EQ(v.count_phase_at_least(8), 1u);
+  EXPECT_EQ(v.count_phase_at_least(10), 0u);
+}
+
+TEST(View, MessagesAtWithValueRespectsLimit) {
+  View v;
+  fill(v, 2, Value::kOne, 5, 0);
+  EXPECT_EQ(v.messages_at_with_value(2, Value::kOne, 3).size(), 3u);
+  EXPECT_EQ(v.messages_at_with_value(2, Value::kZero, 3).size(), 0u);
+  EXPECT_EQ(v.messages_at(2).size(), 5u);
+}
+
+// ------------------------------------------------------------- phase rule
+
+class ValidationFixture : public ::testing::Test {
+ protected:
+  ValidationFixture() : cfg_(Config::for_group(7)) {}
+  // n=7, f=2: quorum = 5 (> 4.5), half-quorum = 3 (> 2.25).
+  Config cfg_;
+  View view_;
+};
+
+TEST_F(ValidationFixture, PhaseOneAlwaysValid) {
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_TRUE(val.phase_valid(msg(0, 1, Value::kOne)));
+}
+
+TEST_F(ValidationFixture, PhaseRequiresQuorumAtPreviousPhase) {
+  fill(view_, 1, Value::kOne, 4);
+  SemanticValidator val(cfg_, view_);
+  EXPECT_FALSE(val.phase_valid(msg(0, 2, Value::kOne)));  // only 4 < quorum
+  fill(view_, 1, Value::kOne, 1, 4);                      // 5th sender
+  EXPECT_TRUE(val.phase_valid(msg(0, 2, Value::kOne)));
+}
+
+TEST_F(ValidationFixture, TransitivePhaseRuleViaClaims) {
+  // f+1 = 3 distinct authentic claims at phase >= 9 justify phase 9.
+  std::vector<Phase> claims = {9, 0, 12, 0, 9, 0, 0};
+  const SemanticValidator val(cfg_, view_, &claims);
+  EXPECT_TRUE(val.phase_valid(msg(0, 9, Value::kOne, Status::kDecided)));
+  claims[0] = 8;  // only 2 claims >= 9 now
+  EXPECT_FALSE(val.phase_valid(msg(0, 9, Value::kOne, Status::kDecided)));
+}
+
+TEST_F(ValidationFixture, TransitivePhaseRuleCanBeDisabled) {
+  cfg_.transitive_phase_rule = false;
+  std::vector<Phase> claims = {9, 9, 9, 9, 9, 9, 9};
+  const SemanticValidator val(cfg_, view_, &claims);
+  EXPECT_FALSE(val.phase_valid(msg(0, 9, Value::kOne)));
+}
+
+// ------------------------------------------------------------- value rule
+
+TEST_F(ValidationFixture, Phase1ValuesMustBeBinary) {
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_TRUE(val.value_valid(msg(0, 1, Value::kZero)));
+  EXPECT_TRUE(val.value_valid(msg(0, 1, Value::kOne)));
+  EXPECT_FALSE(val.value_valid(msg(0, 1, Value::kBottom)));
+}
+
+TEST_F(ValidationFixture, LockPhaseMessageNeedsHalfQuorumSupport) {
+  // Messages with phase ≡ 2 (mod 3) carry a CONVERGE majority: v needs
+  // more than (n+f)/2 / 2 = 3 messages at φ-1.
+  fill(view_, 1, Value::kOne, 2);
+  SemanticValidator val(cfg_, view_);
+  EXPECT_FALSE(val.value_valid(msg(0, 2, Value::kOne)));
+  fill(view_, 1, Value::kOne, 1, 2);
+  EXPECT_TRUE(val.value_valid(msg(0, 2, Value::kOne)));
+  EXPECT_FALSE(val.value_valid(msg(0, 2, Value::kZero)));   // no 0 support
+  EXPECT_FALSE(val.value_valid(msg(0, 2, Value::kBottom)));  // never ⊥ here
+}
+
+TEST_F(ValidationFixture, DecidePhaseBinaryValueNeedsFullQuorum) {
+  fill(view_, 2, Value::kOne, 5);
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_TRUE(val.value_valid(msg(0, 3, Value::kOne)));
+  EXPECT_FALSE(val.value_valid(msg(0, 3, Value::kZero)));
+}
+
+TEST_F(ValidationFixture, DecidePhaseBottomNeedsBothValuesTwoBack) {
+  fill(view_, 1, Value::kZero, 3, 0);
+  SemanticValidator val(cfg_, view_);
+  EXPECT_FALSE(val.value_valid(msg(0, 3, Value::kBottom)));  // no 1s yet
+  fill(view_, 1, Value::kOne, 3, 3);
+  EXPECT_TRUE(val.value_valid(msg(0, 3, Value::kBottom)));
+}
+
+TEST_F(ValidationFixture, ConvergePhaseDeterministicValue) {
+  // Message at phase 4 (≡ 1 mod 3) with deterministic v: needs quorum of v
+  // at phase 2.
+  fill(view_, 2, Value::kOne, 5);
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_TRUE(val.value_valid(msg(0, 4, Value::kOne)));
+  EXPECT_FALSE(val.value_valid(msg(0, 4, Value::kZero)));
+}
+
+TEST_F(ValidationFixture, ConvergePhaseCoinValue) {
+  // A coin-derived value at phase 4 needs a quorum of ⊥ at phase 3.
+  fill(view_, 3, Value::kBottom, 5);
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_TRUE(val.value_valid(
+      msg(0, 4, Value::kZero, Status::kUndecided, /*from_coin=*/true)));
+  EXPECT_TRUE(val.value_valid(
+      msg(0, 4, Value::kOne, Status::kUndecided, /*from_coin=*/true)));
+  // Without the coin flag the same message needs the deterministic chain.
+  EXPECT_FALSE(val.value_valid(msg(0, 4, Value::kOne)));
+}
+
+TEST_F(ValidationFixture, DecidedValueSubsumedByDecideQuorum) {
+  // Catch-up extension: a decided message's value is accepted from the
+  // decide-phase quorum alone, even with no per-phase evidence chain.
+  fill(view_, 3, Value::kOne, 5);
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_TRUE(val.value_valid(msg(0, 10, Value::kOne, Status::kDecided)));
+  EXPECT_FALSE(val.value_valid(msg(0, 10, Value::kZero, Status::kDecided)));
+}
+
+// ------------------------------------------------------------ status rule
+
+TEST_F(ValidationFixture, NoDecisionBeforePhase4) {
+  const SemanticValidator val(cfg_, view_);
+  for (Phase p = 1; p <= 3; ++p) {
+    EXPECT_TRUE(val.status_valid(msg(0, p, Value::kOne)));
+    EXPECT_FALSE(val.status_valid(msg(0, p, Value::kOne, Status::kDecided)));
+  }
+}
+
+TEST_F(ValidationFixture, DecidedNeedsDecidePhaseQuorum) {
+  SemanticValidator val(cfg_, view_);
+  EXPECT_FALSE(val.status_valid(msg(0, 4, Value::kOne, Status::kDecided)));
+  fill(view_, 3, Value::kOne, 5);
+  EXPECT_TRUE(val.status_valid(msg(0, 4, Value::kOne, Status::kDecided)));
+  // The quorum pins the value: a decided 0 is still invalid.
+  EXPECT_FALSE(val.status_valid(msg(0, 4, Value::kZero, Status::kDecided)));
+}
+
+TEST_F(ValidationFixture, DecidedQuorumMayBeAtEarlierDecidePhase) {
+  fill(view_, 3, Value::kOne, 5);
+  const SemanticValidator val(cfg_, view_);
+  // Message at phase 11; the quorum sits at phase 3 — still valid.
+  EXPECT_TRUE(val.status_valid(msg(0, 11, Value::kOne, Status::kDecided)));
+}
+
+TEST_F(ValidationFixture, UndecidedPaperRuleBothValuesAtLock) {
+  // Undecided at phase 4: paper rule wants half-quorum of both values at
+  // the last LOCK phase (2).
+  fill(view_, 2, Value::kZero, 3, 0);
+  fill(view_, 2, Value::kOne, 3, 3);
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_TRUE(val.status_valid(msg(6, 4, Value::kOne)));
+}
+
+TEST_F(ValidationFixture, UndecidedAcceptedViaBottomAtDecidePhase) {
+  // Extension: a ⊥ at the last DECIDE phase proves the quorum was
+  // non-uniform — undecided is then truthful.
+  view_.insert(msg(1, 3, Value::kBottom));
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_TRUE(val.status_valid(msg(6, 4, Value::kOne)));
+}
+
+TEST_F(ValidationFixture, UndecidedRejectedWithoutAnyEvidence) {
+  fill(view_, 3, Value::kOne, 5);  // uniform decide quorum, no ⊥, no split
+  const SemanticValidator val(cfg_, view_);
+  EXPECT_FALSE(val.status_valid(msg(6, 4, Value::kOne)));
+}
+
+TEST(ValidationHelpers, LockAndDecidePhaseHelpers) {
+  EXPECT_EQ(SemanticValidator::highest_lock_phase_below(3), 2u);
+  EXPECT_EQ(SemanticValidator::highest_lock_phase_below(4), 2u);
+  EXPECT_EQ(SemanticValidator::highest_lock_phase_below(5), 2u);
+  EXPECT_EQ(SemanticValidator::highest_lock_phase_below(6), 5u);
+  EXPECT_EQ(SemanticValidator::highest_lock_phase_below(2), 0u);
+  EXPECT_EQ(SemanticValidator::highest_decide_phase_below(4), 3u);
+  EXPECT_EQ(SemanticValidator::highest_decide_phase_below(6), 3u);
+  EXPECT_EQ(SemanticValidator::highest_decide_phase_below(7), 6u);
+  EXPECT_EQ(SemanticValidator::highest_decide_phase_below(3), 0u);
+}
+
+// ----------------------------------------------------------- authenticity
+
+TEST(Authenticity, GenuineMessagesPassForgeryFails) {
+  const Config cfg = Config::for_group(4);
+  Rng rng(3);
+  const KeyInfrastructure keys = KeyInfrastructure::setup(cfg, rng);
+
+  Message m = msg(2, 5, Value::kOne);
+  m.auth_sk = keys.chain(2).secret_key(5, Value::kOne);
+  EXPECT_TRUE(authentic(keys, cfg, m));
+
+  // Claiming another sender with the same key fails.
+  Message imposter = m;
+  imposter.sender = 1;
+  EXPECT_FALSE(authentic(keys, cfg, imposter));
+
+  // Mutating the value without the matching key fails.
+  Message mutated = m;
+  mutated.value = Value::kZero;
+  EXPECT_FALSE(authentic(keys, cfg, mutated));
+
+  // The status field is NOT covered (the §6.1 caveat).
+  Message replayed = m;
+  replayed.status = Status::kDecided;
+  EXPECT_TRUE(authentic(keys, cfg, replayed));
+
+  // Out-of-range sender.
+  Message bad_sender = m;
+  bad_sender.sender = 99;
+  EXPECT_FALSE(authentic(keys, cfg, bad_sender));
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(MessageCodec, DatagramRoundTrip) {
+  Datagram d;
+  d.main = msg(3, 7, Value::kBottom, Status::kUndecided, false);
+  d.main.phase = 6;  // ⊥ only exists in DECIDE phases
+  d.main.auth_sk = Bytes(32, 0xAB);
+  d.justification.push_back(msg(1, 5, Value::kOne));
+  d.justification.push_back(msg(2, 5, Value::kZero, Status::kDecided, true));
+
+  const auto decoded = Datagram::decode(d.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->main, d.main);
+  ASSERT_EQ(decoded->justification.size(), 2u);
+  EXPECT_EQ(decoded->justification[0], d.justification[0]);
+  EXPECT_EQ(decoded->justification[1], d.justification[1]);
+}
+
+TEST(MessageCodec, RejectsGarbage) {
+  EXPECT_FALSE(Datagram::decode(Bytes{}).has_value());
+  EXPECT_FALSE(Datagram::decode(Bytes{0x00, 0x01, 0x02}).has_value());
+  // Valid tag but truncated body.
+  Datagram d;
+  d.main = msg(3, 7, Value::kOne);
+  Bytes enc = d.encode();
+  enc.resize(enc.size() - 3);
+  EXPECT_FALSE(Datagram::decode(enc).has_value());
+}
+
+TEST(MessageCodec, RejectsInvalidEnumValues) {
+  Datagram d;
+  d.main = msg(3, 7, Value::kOne);
+  Bytes enc = d.encode();
+  // Value byte sits after tag(1) + sender(4) + phase(4).
+  enc[9] = 7;  // not a Value
+  EXPECT_FALSE(Datagram::decode(enc).has_value());
+}
+
+// ----------------------------------------------------------------- config
+
+TEST(Config, QuorumArithmetic) {
+  const Config cfg = Config::for_group(16);  // f = 5, k = 11
+  EXPECT_EQ(cfg.f, 5u);
+  EXPECT_EQ(cfg.k, 11u);
+  EXPECT_EQ(cfg.quorum_size(), 11u);           // > 10.5
+  EXPECT_FALSE(cfg.exceeds_quorum(10));
+  EXPECT_TRUE(cfg.exceeds_quorum(11));
+  EXPECT_EQ(cfg.half_quorum_size(), 6u);       // > 5.25
+  EXPECT_FALSE(cfg.exceeds_half_quorum(5));
+  EXPECT_TRUE(cfg.exceeds_half_quorum(6));
+}
+
+TEST(Config, SigmaBoundMatchesFormula) {
+  // σ = ceil((n-t)/2)(n-k-t) + k - 2
+  EXPECT_EQ(sigma_bound(4, 3, 0), 2 * 1 + 3 - 2);    // n=4, k=3, t=0
+  EXPECT_EQ(sigma_bound(16, 11, 0), 8 * 5 + 11 - 2);
+  EXPECT_EQ(sigma_bound(16, 11, 5), 6 * 0 + 11 - 2);  // t=f=5
+}
+
+}  // namespace
+}  // namespace turq::turquois

@@ -1,0 +1,143 @@
+// turquois_sim — command-line experiment runner.
+//
+// Runs any (protocol × group size × distribution × fault load) scenario on
+// the simulated 802.11b testbed and prints latency statistics and medium
+// counters. The quickest way to explore the design space without writing
+// code.
+//
+//   $ turquois_sim --protocol turquois --n 10 --dist divergent
+//                  --faults byzantine --reps 20 --loss 0.05 --seed 7
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+using namespace turq;
+using namespace turq::harness;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --protocol turquois|abba|bracha   (default turquois)\n"
+      "  --n <4..64>                       group size (default 7)\n"
+      "  --dist unanimous|divergent        proposal distribution\n"
+      "  --faults none|failstop|byzantine  fault load (default none)\n"
+      "  --reps <N>                        repetitions (default 20)\n"
+      "  --loss <p>                        extra iid frame loss (default 0.01)\n"
+      "  --no-bursts                       disable Gilbert-Elliott bursts\n"
+      "  --tick <ms>                       Turquois tick interval (default 10)\n"
+      "  --broadcast-rate <bps>            e.g. 2e6 or 11e6 (default 2e6)\n"
+      "  --timeout <s>                     per-run deadline (default 120)\n"
+      "  --seed <S>                        root seed (default 1)\n"
+      "  --verbose                         per-repetition output\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioConfig cfg;
+  cfg.n = 7;
+  cfg.repetitions = 20;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      const std::string_view p = next();
+      if (p == "turquois") cfg.protocol = Protocol::kTurquois;
+      else if (p == "abba") cfg.protocol = Protocol::kAbba;
+      else if (p == "bracha") cfg.protocol = Protocol::kBracha;
+      else usage(argv[0]);
+    } else if (arg == "--n") {
+      cfg.n = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--dist") {
+      const std::string_view d = next();
+      if (d == "unanimous") cfg.distribution = ProposalDist::kUnanimous;
+      else if (d == "divergent") cfg.distribution = ProposalDist::kDivergent;
+      else usage(argv[0]);
+    } else if (arg == "--faults") {
+      const std::string_view f = next();
+      if (f == "none") cfg.fault_load = FaultLoad::kFailureFree;
+      else if (f == "failstop") cfg.fault_load = FaultLoad::kFailStop;
+      else if (f == "byzantine") cfg.fault_load = FaultLoad::kByzantine;
+      else usage(argv[0]);
+    } else if (arg == "--reps") {
+      cfg.repetitions = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--loss") {
+      cfg.loss_rate = std::atof(next());
+    } else if (arg == "--no-bursts") {
+      cfg.bursty_loss = false;
+    } else if (arg == "--tick") {
+      cfg.tick_interval = std::atoll(next()) * kMillisecond;
+    } else if (arg == "--broadcast-rate") {
+      cfg.medium.broadcast_rate_bps = std::atof(next());
+    } else if (arg == "--timeout") {
+      cfg.run_timeout = std::atoll(next()) * kSecond;
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (cfg.n < 4 || cfg.n > 64) usage(argv[0]);
+
+  std::printf("scenario: %s, n=%u (f=%u, k=%u), %s proposals, %s faults, "
+              "%u reps, seed %llu\n",
+              to_string(cfg.protocol).c_str(), cfg.n, cfg.f(), cfg.k(),
+              to_string(cfg.distribution).c_str(),
+              to_string(cfg.fault_load).c_str(), cfg.repetitions,
+              static_cast<unsigned long long>(cfg.seed));
+
+  if (verbose) {
+    for (std::uint32_t rep = 0; rep < cfg.repetitions; ++rep) {
+      const RunResult r = run_once(cfg, rep);
+      std::printf("  rep %2u: %s decision=%s latencies(ms):", rep,
+                  r.all_correct_decided ? "ok    " : "FAILED",
+                  r.decision.has_value() ? to_string(*r.decision).c_str() : "-");
+      for (const double l : r.latencies_ms) std::printf(" %.1f", l);
+      std::printf("\n");
+    }
+  }
+
+  const ScenarioResult r = run_scenario(cfg);
+  if (r.latency_ms.empty()) {
+    std::printf("result: no successful repetitions (%u failed)\n",
+                r.failed_runs);
+    return 1;
+  }
+  std::printf("latency: mean %.2f ms ± %.2f (95%% CI), min %.2f, p50 %.2f, "
+              "p95 %.2f, max %.2f over %zu samples\n",
+              r.mean(), r.ci95(), r.latency_ms.min(),
+              r.latency_ms.percentile(0.5), r.latency_ms.percentile(0.95),
+              r.latency_ms.max(), r.latency_ms.count());
+  std::printf("medium (totals): %llu bcast frames, %llu unicast frames, "
+              "%llu collisions, %llu MAC retries, %.1f ms airtime, %llu bytes\n",
+              static_cast<unsigned long long>(r.medium_total.broadcast_frames),
+              static_cast<unsigned long long>(r.medium_total.unicast_frames),
+              static_cast<unsigned long long>(r.medium_total.collisions),
+              static_cast<unsigned long long>(r.medium_total.mac_retries),
+              to_milliseconds(r.medium_total.airtime),
+              static_cast<unsigned long long>(r.medium_total.bytes_on_air));
+  if (r.failed_runs > 0) {
+    std::printf("warning: %u repetitions missed the deadline\n", r.failed_runs);
+  }
+  if (r.safety_violations > 0) {
+    std::printf("SAFETY VIOLATIONS: %u\n", r.safety_violations);
+    return 1;
+  }
+  return 0;
+}
