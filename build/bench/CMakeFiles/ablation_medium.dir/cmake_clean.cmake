@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_medium.dir/ablation_medium.cpp.o"
+  "CMakeFiles/ablation_medium.dir/ablation_medium.cpp.o.d"
+  "ablation_medium"
+  "ablation_medium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_medium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

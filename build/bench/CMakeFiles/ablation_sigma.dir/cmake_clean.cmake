@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sigma.dir/ablation_sigma.cpp.o"
+  "CMakeFiles/ablation_sigma.dir/ablation_sigma.cpp.o.d"
+  "ablation_sigma"
+  "ablation_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_timeout.cpp" "bench/CMakeFiles/ablation_timeout.dir/ablation_timeout.cpp.o" "gcc" "bench/CMakeFiles/ablation_timeout.dir/ablation_timeout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/turq_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/turq_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/turquois/CMakeFiles/turq_turquois.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/turq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/turq_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/turq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

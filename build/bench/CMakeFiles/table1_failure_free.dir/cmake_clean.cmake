@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_failure_free.dir/table1_failure_free.cpp.o"
+  "CMakeFiles/table1_failure_free.dir/table1_failure_free.cpp.o.d"
+  "table1_failure_free"
+  "table1_failure_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_failure_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_fail_stop.dir/table2_fail_stop.cpp.o"
+  "CMakeFiles/table2_fail_stop.dir/table2_fail_stop.cpp.o.d"
+  "table2_fail_stop"
+  "table2_fail_stop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_fail_stop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

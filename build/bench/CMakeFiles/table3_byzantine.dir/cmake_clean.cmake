@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_byzantine.dir/table3_byzantine.cpp.o"
+  "CMakeFiles/table3_byzantine.dir/table3_byzantine.cpp.o.d"
+  "table3_byzantine"
+  "table3_byzantine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_byzantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergency_channel_switch.dir/emergency_channel_switch.cpp.o"
+  "CMakeFiles/emergency_channel_switch.dir/emergency_channel_switch.cpp.o.d"
+  "emergency_channel_switch"
+  "emergency_channel_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency_channel_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

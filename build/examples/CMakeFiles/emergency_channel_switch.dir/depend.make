@@ -1,0 +1,2 @@
+# Empty dependencies file for emergency_channel_switch.
+# This may be replaced when dependencies are built.

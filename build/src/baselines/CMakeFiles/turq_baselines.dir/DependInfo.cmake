@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/abba/abba.cpp" "src/baselines/CMakeFiles/turq_baselines.dir/abba/abba.cpp.o" "gcc" "src/baselines/CMakeFiles/turq_baselines.dir/abba/abba.cpp.o.d"
+  "/root/repo/src/baselines/bracha/bracha.cpp" "src/baselines/CMakeFiles/turq_baselines.dir/bracha/bracha.cpp.o" "gcc" "src/baselines/CMakeFiles/turq_baselines.dir/bracha/bracha.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/turq_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/turq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

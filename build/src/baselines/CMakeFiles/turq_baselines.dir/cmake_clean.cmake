@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turq_baselines.dir/abba/abba.cpp.o"
+  "CMakeFiles/turq_baselines.dir/abba/abba.cpp.o.d"
+  "CMakeFiles/turq_baselines.dir/bracha/bracha.cpp.o"
+  "CMakeFiles/turq_baselines.dir/bracha/bracha.cpp.o.d"
+  "libturq_baselines.a"
+  "libturq_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turq_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turq_common.dir/bytes.cpp.o"
+  "CMakeFiles/turq_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/turq_common.dir/logging.cpp.o"
+  "CMakeFiles/turq_common.dir/logging.cpp.o.d"
+  "CMakeFiles/turq_common.dir/rng.cpp.o"
+  "CMakeFiles/turq_common.dir/rng.cpp.o.d"
+  "CMakeFiles/turq_common.dir/stats.cpp.o"
+  "CMakeFiles/turq_common.dir/stats.cpp.o.d"
+  "libturq_common.a"
+  "libturq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/group.cpp" "src/crypto/CMakeFiles/turq_crypto.dir/group.cpp.o" "gcc" "src/crypto/CMakeFiles/turq_crypto.dir/group.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/turq_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/turq_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/modmath.cpp" "src/crypto/CMakeFiles/turq_crypto.dir/modmath.cpp.o" "gcc" "src/crypto/CMakeFiles/turq_crypto.dir/modmath.cpp.o.d"
+  "/root/repo/src/crypto/onetime_sig.cpp" "src/crypto/CMakeFiles/turq_crypto.dir/onetime_sig.cpp.o" "gcc" "src/crypto/CMakeFiles/turq_crypto.dir/onetime_sig.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/turq_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/turq_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/turq_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/turq_crypto.dir/shamir.cpp.o.d"
+  "/root/repo/src/crypto/threshold.cpp" "src/crypto/CMakeFiles/turq_crypto.dir/threshold.cpp.o" "gcc" "src/crypto/CMakeFiles/turq_crypto.dir/threshold.cpp.o.d"
+  "/root/repo/src/crypto/toy_rsa.cpp" "src/crypto/CMakeFiles/turq_crypto.dir/toy_rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/turq_crypto.dir/toy_rsa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turq_crypto.dir/group.cpp.o"
+  "CMakeFiles/turq_crypto.dir/group.cpp.o.d"
+  "CMakeFiles/turq_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/turq_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/turq_crypto.dir/modmath.cpp.o"
+  "CMakeFiles/turq_crypto.dir/modmath.cpp.o.d"
+  "CMakeFiles/turq_crypto.dir/onetime_sig.cpp.o"
+  "CMakeFiles/turq_crypto.dir/onetime_sig.cpp.o.d"
+  "CMakeFiles/turq_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/turq_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/turq_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/turq_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/turq_crypto.dir/threshold.cpp.o"
+  "CMakeFiles/turq_crypto.dir/threshold.cpp.o.d"
+  "CMakeFiles/turq_crypto.dir/toy_rsa.cpp.o"
+  "CMakeFiles/turq_crypto.dir/toy_rsa.cpp.o.d"
+  "libturq_crypto.a"
+  "libturq_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turq_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turq_harness.dir/experiment.cpp.o"
+  "CMakeFiles/turq_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/turq_harness.dir/table.cpp.o"
+  "CMakeFiles/turq_harness.dir/table.cpp.o.d"
+  "libturq_harness.a"
+  "libturq_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turq_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/broadcast_endpoint.cpp" "src/net/CMakeFiles/turq_net.dir/broadcast_endpoint.cpp.o" "gcc" "src/net/CMakeFiles/turq_net.dir/broadcast_endpoint.cpp.o.d"
+  "/root/repo/src/net/fault_injector.cpp" "src/net/CMakeFiles/turq_net.dir/fault_injector.cpp.o" "gcc" "src/net/CMakeFiles/turq_net.dir/fault_injector.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/net/CMakeFiles/turq_net.dir/medium.cpp.o" "gcc" "src/net/CMakeFiles/turq_net.dir/medium.cpp.o.d"
+  "/root/repo/src/net/reliable_channel.cpp" "src/net/CMakeFiles/turq_net.dir/reliable_channel.cpp.o" "gcc" "src/net/CMakeFiles/turq_net.dir/reliable_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/turq_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

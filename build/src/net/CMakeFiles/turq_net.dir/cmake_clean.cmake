@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turq_net.dir/broadcast_endpoint.cpp.o"
+  "CMakeFiles/turq_net.dir/broadcast_endpoint.cpp.o.d"
+  "CMakeFiles/turq_net.dir/fault_injector.cpp.o"
+  "CMakeFiles/turq_net.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/turq_net.dir/medium.cpp.o"
+  "CMakeFiles/turq_net.dir/medium.cpp.o.d"
+  "CMakeFiles/turq_net.dir/reliable_channel.cpp.o"
+  "CMakeFiles/turq_net.dir/reliable_channel.cpp.o.d"
+  "libturq_net.a"
+  "libturq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turq_sim.dir/cpu.cpp.o"
+  "CMakeFiles/turq_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/turq_sim.dir/simulator.cpp.o"
+  "CMakeFiles/turq_sim.dir/simulator.cpp.o.d"
+  "libturq_sim.a"
+  "libturq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/turquois/key_infra.cpp" "src/turquois/CMakeFiles/turq_turquois.dir/key_infra.cpp.o" "gcc" "src/turquois/CMakeFiles/turq_turquois.dir/key_infra.cpp.o.d"
+  "/root/repo/src/turquois/message.cpp" "src/turquois/CMakeFiles/turq_turquois.dir/message.cpp.o" "gcc" "src/turquois/CMakeFiles/turq_turquois.dir/message.cpp.o.d"
+  "/root/repo/src/turquois/multivalued.cpp" "src/turquois/CMakeFiles/turq_turquois.dir/multivalued.cpp.o" "gcc" "src/turquois/CMakeFiles/turq_turquois.dir/multivalued.cpp.o.d"
+  "/root/repo/src/turquois/process.cpp" "src/turquois/CMakeFiles/turq_turquois.dir/process.cpp.o" "gcc" "src/turquois/CMakeFiles/turq_turquois.dir/process.cpp.o.d"
+  "/root/repo/src/turquois/validation.cpp" "src/turquois/CMakeFiles/turq_turquois.dir/validation.cpp.o" "gcc" "src/turquois/CMakeFiles/turq_turquois.dir/validation.cpp.o.d"
+  "/root/repo/src/turquois/view.cpp" "src/turquois/CMakeFiles/turq_turquois.dir/view.cpp.o" "gcc" "src/turquois/CMakeFiles/turq_turquois.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/turq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/turq_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/turq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/turq_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turq_turquois.dir/key_infra.cpp.o"
+  "CMakeFiles/turq_turquois.dir/key_infra.cpp.o.d"
+  "CMakeFiles/turq_turquois.dir/message.cpp.o"
+  "CMakeFiles/turq_turquois.dir/message.cpp.o.d"
+  "CMakeFiles/turq_turquois.dir/multivalued.cpp.o"
+  "CMakeFiles/turq_turquois.dir/multivalued.cpp.o.d"
+  "CMakeFiles/turq_turquois.dir/process.cpp.o"
+  "CMakeFiles/turq_turquois.dir/process.cpp.o.d"
+  "CMakeFiles/turq_turquois.dir/validation.cpp.o"
+  "CMakeFiles/turq_turquois.dir/validation.cpp.o.d"
+  "CMakeFiles/turq_turquois.dir/view.cpp.o"
+  "CMakeFiles/turq_turquois.dir/view.cpp.o.d"
+  "libturq_turquois.a"
+  "libturq_turquois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turq_turquois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturq_turquois.a"
+)

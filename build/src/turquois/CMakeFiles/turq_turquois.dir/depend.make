@@ -1,0 +1,2 @@
+# Empty dependencies file for turq_turquois.
+# This may be replaced when dependencies are built.

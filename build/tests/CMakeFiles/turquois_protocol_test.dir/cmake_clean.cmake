@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turquois_protocol_test.dir/turquois_protocol_test.cpp.o"
+  "CMakeFiles/turquois_protocol_test.dir/turquois_protocol_test.cpp.o.d"
+  "turquois_protocol_test"
+  "turquois_protocol_test.pdb"
+  "turquois_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turquois_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/medium_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/validation_test[1]_include.cmake")
+include("/root/repo/build/tests/turquois_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/harness_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/multivalued_test[1]_include.cmake")
+include("/root/repo/build/tests/endpoint_test[1]_include.cmake")

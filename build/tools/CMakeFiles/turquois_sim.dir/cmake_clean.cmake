@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turquois_sim.dir/turquois_sim.cpp.o"
+  "CMakeFiles/turquois_sim.dir/turquois_sim.cpp.o.d"
+  "turquois_sim"
+  "turquois_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turquois_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
