@@ -3,6 +3,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/serialize.hpp"
+#include "trace/trace.hpp"
 
 namespace turq::abba {
 
@@ -42,6 +43,12 @@ void Process::propose(Value initial) {
   TURQ_ASSERT(is_binary(initial));
   TURQ_ASSERT_MSG(!running_, "propose() may be called once");
   running_ = true;
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kPropose, .process = id_, .phase = 1,
+                   .value = static_cast<std::int64_t>(initial));
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kRoundEnter, .process = id_,
+                   .phase = 1);
   send_prevote(1, to_vote(initial));
   // Messages that arrived before the start signal sat in the (modeled) OS
   // receive buffer; process them now.
@@ -341,6 +348,9 @@ void Process::try_progress(std::uint32_t round) {
       return;  // done helping; go quiet
     }
     round_ = round + 1;
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                     .kind = trace::Kind::kRoundEnter, .process = id_,
+                     .phase = round_);
     send_prevote(round_, *next);
     try_progress(round_);
   }
@@ -352,6 +362,9 @@ void Process::decide(Value v, std::uint32_t round) {
   decided_round_ = round;
   TURQ_DEBUG("abba p%u decided %s in round %u t=%.3fms", id_,
              to_string(v).c_str(), round, to_milliseconds(sim_.now()));
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kDecide, .process = id_, .phase = round,
+                   .value = static_cast<std::int64_t>(v));
   if (on_decide_) on_decide_(v, round, sim_.now());
 }
 

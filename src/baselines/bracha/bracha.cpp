@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/serialize.hpp"
+#include "trace/trace.hpp"
 
 namespace turq::bracha {
 
@@ -31,6 +32,13 @@ void Process::propose(Value initial) {
   value_ = initial;
   flag_ = false;
   step_ = 1;
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kPropose, .process = id_,
+                   .phase = round_,
+                   .value = static_cast<std::int64_t>(initial));
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kRoundEnter, .process = id_,
+                   .phase = round_, .value = step_);
   StepValue sv{.value = value_, .flag = false};
   if (strategy_ == Strategy::kValueInversion) sv.value = opposite(sv.value);
   rbc_broadcast(round_, step_, sv);
@@ -276,6 +284,9 @@ void Process::try_advance() {
     }
 
     step_ = next_step;
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                     .kind = trace::Kind::kRoundEnter, .process = id_,
+                     .phase = round_, .value = step_);
     StepValue sv{.value = value_, .flag = flag_};
     if (strategy_ == Strategy::kValueInversion) {
       // Paper §7.2: opposite value in steps 1 and 2; in step 3, the default
@@ -293,6 +304,9 @@ void Process::decide(Value v) {
   decided_round_ = round_;
   TURQ_DEBUG("bracha p%u decided %s in round %u t=%.3fms", id_,
              to_string(v).c_str(), round_, to_milliseconds(sim_.now()));
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kDecide, .process = id_,
+                   .phase = round_, .value = static_cast<std::int64_t>(v));
   if (on_decide_) on_decide_(v, round_, sim_.now());
 }
 

@@ -13,6 +13,7 @@
 #include "net/reliable_channel.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 #include "turquois/key_infra.hpp"
 #include "turquois/process.hpp"
 
@@ -54,6 +55,7 @@ Value proposal_for(ProposalDist dist, ProcessId id) {
 /// run until all correct processes decide.
 struct Deployment {
   sim::Simulator sim;
+  std::uint64_t rep_index = 0;
   std::unique_ptr<net::Medium> medium;
   std::unique_ptr<net::CompositeFaults> faults;
   std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
@@ -144,13 +146,26 @@ RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
 
   result.medium = d.medium->stats();
   for (const ProcessId id : d.correct) result.app_messages += d.sent[id]();
+
+#if TURQ_TRACE_ENABLED
+  if (trace::Tracer* t = trace::current()) {
+    t->metrics().merge(d.medium->metrics());
+    t->metrics().counter("app.messages").add(result.app_messages);
+    t->emit(trace::TraceEvent{
+        .at = d.sim.now(), .category = trace::Category::kHarness,
+        .kind = trace::Kind::kRepEnd,
+        .value = static_cast<std::int64_t>(d.rep_index)});
+  }
+#endif
   return result;
 }
 
 // ----------------------------------------------------------- per protocol --
 
-RunResult run_turquois(const ScenarioConfig& cfg, Rng root) {
+RunResult run_turquois(const ScenarioConfig& cfg, Rng root,
+                       std::uint64_t rep_index) {
   Deployment d;
+  d.rep_index = rep_index;
   split_roles(cfg, d);
   setup_medium(cfg, d, root);
 
@@ -210,8 +225,10 @@ RunResult run_turquois(const ScenarioConfig& cfg, Rng root) {
   return collect(cfg, d);
 }
 
-RunResult run_bracha(const ScenarioConfig& cfg, Rng root) {
+RunResult run_bracha(const ScenarioConfig& cfg, Rng root,
+                     std::uint64_t rep_index) {
   Deployment d;
+  d.rep_index = rep_index;
   split_roles(cfg, d);
   setup_medium(cfg, d, root);
 
@@ -294,18 +311,25 @@ RunResult run_bracha(const ScenarioConfig& cfg, Rng root) {
 
   RunResult result = collect(cfg, d);
   for (const auto& host : hosts) {
-    const auto& s = host->stats();
+    const auto s = host->stats();
     result.tcp.messages_sent += s.messages_sent;
     result.tcp.segments_sent += s.segments_sent;
     result.tcp.segments_retransmitted += s.segments_retransmitted;
     result.tcp.rto_fires += s.rto_fires;
     result.tcp.fast_retransmits += s.fast_retransmits;
   }
+#if TURQ_TRACE_ENABLED
+  if (trace::Tracer* t = trace::current()) {
+    for (const auto& host : hosts) t->metrics().merge(host->metrics());
+  }
+#endif
   return result;
 }
 
-RunResult run_abba(const ScenarioConfig& cfg, Rng root) {
+RunResult run_abba(const ScenarioConfig& cfg, Rng root,
+                   std::uint64_t rep_index) {
   Deployment d;
+  d.rep_index = rep_index;
   split_roles(cfg, d);
   setup_medium(cfg, d, root);
 
@@ -373,7 +397,13 @@ RunResult run_abba(const ScenarioConfig& cfg, Rng root) {
     });
   }
 
-  return collect(cfg, d);
+  RunResult result = collect(cfg, d);
+#if TURQ_TRACE_ENABLED
+  if (trace::Tracer* t = trace::current()) {
+    for (const auto& host : hosts) t->metrics().merge(host->metrics());
+  }
+#endif
+  return result;
 }
 
 }  // namespace
@@ -381,13 +411,41 @@ RunResult run_abba(const ScenarioConfig& cfg, Rng root) {
 RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index) {
   Rng root(cfg.seed);
   Rng rep = root.derive("rep", rep_index);
-  switch (cfg.protocol) {
-    case Protocol::kTurquois: return run_turquois(cfg, rep);
-    case Protocol::kBracha: return run_bracha(cfg, rep);
-    case Protocol::kAbba: return run_abba(cfg, rep);
+
+#if TURQ_TRACE_ENABLED
+  // Each repetition gets a fresh tracer so the ring holds one run and the
+  // sink receives one begin/end-marked block per repetition.
+  std::optional<trace::Tracer> tracer;
+  std::optional<trace::TraceScope> scope;
+  if (cfg.trace_sink != nullptr) {
+    trace::TracerOptions topt;
+    topt.sim_events = cfg.trace_sim_events;
+    tracer.emplace(topt);
+    scope.emplace(&*tracer);
+    tracer->emit(trace::TraceEvent{
+        .at = 0, .category = trace::Category::kHarness,
+        .kind = trace::Kind::kRepBegin,
+        .value = static_cast<std::int64_t>(rep_index)});
   }
-  TURQ_ASSERT_MSG(false, "unknown protocol");
-  return {};
+#endif
+
+  RunResult result;
+  switch (cfg.protocol) {
+    case Protocol::kTurquois:
+      result = run_turquois(cfg, rep, rep_index);
+      break;
+    case Protocol::kBracha:
+      result = run_bracha(cfg, rep, rep_index);
+      break;
+    case Protocol::kAbba:
+      result = run_abba(cfg, rep, rep_index);
+      break;
+  }
+
+#if TURQ_TRACE_ENABLED
+  if (tracer.has_value()) tracer->flush(*cfg.trace_sink);
+#endif
+  return result;
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {

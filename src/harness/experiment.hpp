@@ -71,6 +71,13 @@ struct ScenarioConfig {
   SimDuration tick_interval = 10 * kMillisecond;
   SimDuration tick_jitter = 2 * kMillisecond;
 
+  /// When set, every repetition runs under a trace::Tracer and flushes its
+  /// event stream and metrics into this sink (one kRepBegin/kRepEnd-marked
+  /// block per repetition). Not owned; must outlive the scenario.
+  trace::Sink* trace_sink = nullptr;
+  /// Also record one trace event per simulator dispatch (voluminous).
+  bool trace_sim_events = false;
+
   [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
   [[nodiscard]] std::uint32_t k() const { return n - f(); }
 };

@@ -9,7 +9,38 @@
 namespace turq::net {
 
 Medium::Medium(sim::Simulator& simulator, MediumConfig config, Rng rng)
-    : sim_(simulator), config_(config), rng_(rng) {}
+    : sim_(simulator), config_(config), rng_(rng) {
+  // Resolve the hot-path counters once; map nodes are address-stable.
+  ctr_.broadcast_frames = &metrics_.counter("medium.broadcast_frames");
+  ctr_.unicast_frames = &metrics_.counter("medium.unicast_frames");
+  ctr_.mac_retries = &metrics_.counter("medium.mac_retries");
+  ctr_.collisions = &metrics_.counter("medium.collisions");
+  ctr_.frames_collided = &metrics_.counter("medium.frames_collided");
+  ctr_.unicast_drops = &metrics_.counter("medium.unicast_drops");
+  ctr_.deliveries = &metrics_.counter("medium.deliveries");
+  ctr_.omissions = &metrics_.counter("medium.omissions");
+  ctr_.bytes_on_air = &metrics_.counter("medium.bytes_on_air");
+  ctr_.airtime_ns = &metrics_.counter("medium.airtime_ns");
+  ctr_.backoff_slots = &metrics_.histogram(
+      "medium.backoff_slots", {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  ctr_.frame_airtime_us = &metrics_.histogram(
+      "medium.frame_airtime_us", {250, 500, 1000, 2000, 4000, 8000, 16000});
+}
+
+MediumStats Medium::stats() const {
+  return MediumStats{
+      .broadcast_frames = ctr_.broadcast_frames->value(),
+      .unicast_frames = ctr_.unicast_frames->value(),
+      .mac_retries = ctr_.mac_retries->value(),
+      .collisions = ctr_.collisions->value(),
+      .frames_collided = ctr_.frames_collided->value(),
+      .unicast_drops = ctr_.unicast_drops->value(),
+      .deliveries = ctr_.deliveries->value(),
+      .omissions = ctr_.omissions->value(),
+      .bytes_on_air = ctr_.bytes_on_air->value(),
+      .airtime = static_cast<SimDuration>(ctr_.airtime_ns->value()),
+  };
+}
 
 void Medium::attach(ProcessId id, ReceiveHandler handler) {
   TURQ_ASSERT_MSG(!nodes_.contains(id), "node already attached");
@@ -68,6 +99,12 @@ void Medium::send_broadcast(ProcessId src, Bytes payload, bool replace_queued) {
         for (auto qit = node.queue.begin(); qit != node.queue.end(); ++qit) {
           if (idx++ < in_air) continue;
           if (qit->is_broadcast()) {
+            TURQ_TRACE_EVENT(.at = sim_.now(),
+                             .category = trace::Category::kMedium,
+                             .kind = trace::Kind::kFrameSuperseded,
+                             .process = src, .frame = qit->trace_id,
+                             .bytes = static_cast<std::uint32_t>(
+                                 qit->payload.size()));
             node.queue.erase(qit);
             --queued;
             break;
@@ -77,7 +114,8 @@ void Medium::send_broadcast(ProcessId src, Bytes payload, bool replace_queued) {
     }
   }
   enqueue(Frame{.src = src, .dst = kBroadcastDst, .payload = std::move(payload),
-                .retries = 0, .cw = config_.cw_min, .on_result = {}});
+                .retries = 0, .cw = config_.cw_min, .on_result = {},
+                .trace_id = 0});
 }
 
 void Medium::send_unicast(ProcessId src, ProcessId dst, Bytes payload,
@@ -87,12 +125,20 @@ void Medium::send_unicast(ProcessId src, ProcessId dst, Bytes payload,
   TURQ_ASSERT_MSG(dst != kBroadcastDst, "invalid unicast destination");
   enqueue(Frame{.src = src, .dst = dst, .payload = std::move(payload),
                 .retries = 0, .cw = config_.cw_min,
-                .on_result = std::move(on_result)});
+                .on_result = std::move(on_result), .trace_id = 0});
 }
 
 void Medium::enqueue(Frame frame) {
   const auto it = nodes_.find(frame.src);
   if (it == nodes_.end()) return;  // detached (crashed) senders go silent
+  frame.trace_id = ++next_trace_id_;
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                   .kind = trace::Kind::kFrameEnqueue, .process = frame.src,
+                   .value = frame.is_broadcast()
+                                ? -1
+                                : static_cast<std::int64_t>(frame.dst),
+                   .frame = frame.trace_id,
+                   .bytes = static_cast<std::uint32_t>(frame.payload.size()));
   it->second.queue.push_back(std::move(frame));
   add_contender(it->first);
 }
@@ -134,6 +180,10 @@ void Medium::resolve_contention() {
     TURQ_ASSERT(!node.queue.empty());
     const std::uint32_t cw = node.queue.front().cw;
     const auto slot = static_cast<std::uint32_t>(rng_.uniform(cw + 1));
+    if (trace::active()) ctr_.backoff_slots->observe(slot);
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                     .kind = trace::Kind::kBackoffDraw, .process = id,
+                     .value = slot, .frame = node.queue.front().trace_id);
     draws.emplace_back(id, slot);
     min_slot = std::min(min_slot, slot);
   }
@@ -160,22 +210,41 @@ void Medium::resolve_contention() {
     const ProcessId winner = winners.front();
     const Frame& frame = nodes_.at(winner).queue.front();
     const SimDuration air = airtime_of(frame);
-    stats_.bytes_on_air += frame.payload.size() + config_.mac_overhead_bytes;
-    stats_.airtime += air;
+    ctr_.bytes_on_air->add(frame.payload.size() + config_.mac_overhead_bytes);
+    ctr_.airtime_ns->add(static_cast<std::uint64_t>(air));
+    if (trace::active()) {
+      ctr_.frame_airtime_us->observe(static_cast<double>(air) / 1000.0);
+    }
+    TURQ_TRACE_EVENT(.at = start, .category = trace::Category::kMedium,
+                     .kind = trace::Kind::kFrameTxStart, .process = winner,
+                     .phase = frame.is_broadcast() ? 1u : 0u,
+                     .value = static_cast<std::int64_t>(air),
+                     .frame = frame.trace_id,
+                     .bytes = static_cast<std::uint32_t>(frame.payload.size()));
     busy_until_ = start + air;
     sim_.schedule_at(busy_until_, [this, winner] { finish_single(winner); });
   } else {
     // All tied frames overlap and are corrupted at every receiver.
-    ++stats_.collisions;
+    ctr_.collisions->add();
     SimDuration longest = 0;
     for (const ProcessId id : winners) {
       const Frame& frame = nodes_.at(id).queue.front();
       const SimDuration air = airtime_of(frame);
-      stats_.bytes_on_air += frame.payload.size() + config_.mac_overhead_bytes;
+      ctr_.bytes_on_air->add(frame.payload.size() + config_.mac_overhead_bytes);
+      if (trace::active()) {
+        ctr_.frame_airtime_us->observe(static_cast<double>(air) / 1000.0);
+      }
+      TURQ_TRACE_EVENT(.at = start, .category = trace::Category::kMedium,
+                       .kind = trace::Kind::kFrameTxStart, .process = id,
+                       .phase = frame.is_broadcast() ? 1u : 0u,
+                       .value = static_cast<std::int64_t>(air),
+                       .frame = frame.trace_id,
+                       .bytes =
+                           static_cast<std::uint32_t>(frame.payload.size()));
       longest = std::max(longest, air);
-      ++stats_.frames_collided;
+      ctr_.frames_collided->add();
     }
-    stats_.airtime += longest;
+    ctr_.airtime_ns->add(static_cast<std::uint64_t>(longest));
     busy_until_ = start + longest;
     sim_.schedule_at(busy_until_, [this, winners = std::move(winners)] {
       finish_collision(winners);
@@ -188,10 +257,19 @@ void Medium::deliver(const Frame& frame) {
     if (id == frame.src) continue;
     if (!frame.is_broadcast() && id != frame.dst) continue;
     if (faults_->drop(frame.src, id, sim_.now(), frame.payload.size())) {
-      ++stats_.omissions;
+      ctr_.omissions->add();
+      TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                       .kind = trace::Kind::kFrameOmitted, .process = frame.src,
+                       .value = static_cast<std::int64_t>(id),
+                       .frame = frame.trace_id);
       continue;
     }
-    ++stats_.deliveries;
+    ctr_.deliveries->add();
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                     .kind = trace::Kind::kFrameDelivered, .process = frame.src,
+                     .value = static_cast<std::int64_t>(id),
+                     .frame = frame.trace_id,
+                     .bytes = static_cast<std::uint32_t>(frame.payload.size()));
     // Copy the payload per receiver; handlers run as fresh events so a
     // handler enqueueing new frames sees a consistent medium state.
     sim_.schedule_at(sim_.now(),
@@ -210,13 +288,13 @@ void Medium::finish_single(ProcessId winner) {
   Frame& frame = node.queue.front();
 
   if (frame.is_broadcast()) {
-    ++stats_.broadcast_frames;
+    ctr_.broadcast_frames->add();
     deliver(frame);
     complete_frame(winner, true);
     return;
   }
 
-  ++stats_.unicast_frames;
+  ctr_.unicast_frames->add();
   // The data frame is subject to injected omission at the destination; the
   // MAC ACK can also be lost on the way back.
   const auto dst_it = nodes_.find(frame.dst);
@@ -225,12 +303,21 @@ void Medium::finish_single(ProcessId winner) {
       !faults_->drop(frame.src, frame.dst, sim_.now(), frame.payload.size());
 
   if (data_ok) {
-    ++stats_.deliveries;
+    ctr_.deliveries->add();
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                     .kind = trace::Kind::kFrameDelivered, .process = frame.src,
+                     .value = static_cast<std::int64_t>(frame.dst),
+                     .frame = frame.trace_id,
+                     .bytes = static_cast<std::uint32_t>(frame.payload.size()));
     sim_.schedule_at(sim_.now(),
                      [handler = dst_it->second.handler, src = frame.src,
                       payload = frame.payload] { handler(src, payload, false); });
   } else if (dst_it != nodes_.end()) {
-    ++stats_.omissions;
+    ctr_.omissions->add();
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                     .kind = trace::Kind::kFrameOmitted, .process = frame.src,
+                     .value = static_cast<std::int64_t>(frame.dst),
+                     .frame = frame.trace_id);
   }
 
   const bool ack_ok =
@@ -239,8 +326,8 @@ void Medium::finish_single(ProcessId winner) {
   if (data_ok) {
     // ACK occupies the channel after SIFS whether or not the sender hears it.
     const SimDuration ack_time = config_.sifs + ack_airtime();
-    stats_.airtime += ack_airtime();
-    stats_.bytes_on_air += config_.ack_bytes;
+    ctr_.airtime_ns->add(static_cast<std::uint64_t>(ack_airtime()));
+    ctr_.bytes_on_air->add(config_.ack_bytes);
     busy_until_ = sim_.now() + ack_time;
   }
 
@@ -257,12 +344,15 @@ void Medium::finish_collision(std::vector<ProcessId> winners) {
     if (it == nodes_.end()) continue;
     TURQ_ASSERT(!it->second.queue.empty());
     Frame& frame = it->second.queue.front();
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                     .kind = trace::Kind::kFrameCollided, .process = id,
+                     .frame = frame.trace_id);
     if (frame.is_broadcast()) {
       // 802.11 never retransmits broadcast: the frame is simply lost.
-      ++stats_.broadcast_frames;
+      ctr_.broadcast_frames->add();
       complete_frame(id, false);
     } else {
-      ++stats_.unicast_frames;
+      ctr_.unicast_frames->add();
       retry_or_drop(id);
     }
   }
@@ -284,12 +374,18 @@ void Medium::retry_or_drop(ProcessId id) {
   node.transmitting = false;
   Frame& frame = node.queue.front();
   if (frame.retries >= config_.retry_limit) {
-    ++stats_.unicast_drops;
+    ctr_.unicast_drops->add();
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                     .kind = trace::Kind::kFrameDropped, .process = id,
+                     .frame = frame.trace_id);
     complete_frame(id, false);
     return;
   }
   ++frame.retries;
-  ++stats_.mac_retries;
+  ctr_.mac_retries->add();
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                   .kind = trace::Kind::kFrameRetry, .process = id,
+                   .value = frame.retries, .frame = frame.trace_id);
   frame.cw = std::min((frame.cw + 1) * 2 - 1, config_.cw_max);
   add_contender(id);
   maybe_schedule_resolution();

@@ -27,6 +27,7 @@
 #include "common/types.hpp"
 #include "net/fault_injector.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace turq::net {
 
@@ -50,8 +51,9 @@ struct MediumConfig {
   std::size_t max_frame_bytes = 2304;   // MSDU limit
 };
 
-/// Counters for medium-level activity, used by the evaluation harness and
-/// the broadcast-vs-unicast ablation.
+/// Medium-level activity counters, used by the evaluation harness and the
+/// broadcast-vs-unicast ablation. This is a snapshot view assembled from
+/// the medium's MetricsRegistry — the registry is the single counting path.
 struct MediumStats {
   std::uint64_t broadcast_frames = 0;   // frames put on the air
   std::uint64_t unicast_frames = 0;     // incl. MAC retries
@@ -98,7 +100,13 @@ class Medium {
   void send_unicast(ProcessId src, ProcessId dst, Bytes payload,
                     SendResult on_result = {});
 
-  [[nodiscard]] const MediumStats& stats() const { return stats_; }
+  /// Snapshot of the medium counters (thin view over metrics()).
+  [[nodiscard]] MediumStats stats() const;
+  /// The live counter/histogram registry (includes backoff-slot and frame
+  /// airtime histograms that have no MediumStats field).
+  [[nodiscard]] const trace::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
   [[nodiscard]] const MediumConfig& config() const { return config_; }
 
   /// Airtime of a frame carrying `payload_bytes` at `rate_bps`.
@@ -115,8 +123,25 @@ class Medium {
     std::uint32_t retries = 0;
     std::uint32_t cw = 0;
     SendResult on_result;
+    std::uint64_t trace_id = 0;  // per-medium frame id for event correlation
 
     [[nodiscard]] bool is_broadcast() const { return dst == kBroadcastDst; }
+  };
+
+  /// Counters resolved once against metrics_ (stable map-node addresses).
+  struct HotCounters {
+    trace::Counter* broadcast_frames = nullptr;
+    trace::Counter* unicast_frames = nullptr;
+    trace::Counter* mac_retries = nullptr;
+    trace::Counter* collisions = nullptr;
+    trace::Counter* frames_collided = nullptr;
+    trace::Counter* unicast_drops = nullptr;
+    trace::Counter* deliveries = nullptr;
+    trace::Counter* omissions = nullptr;
+    trace::Counter* bytes_on_air = nullptr;
+    trace::Counter* airtime_ns = nullptr;
+    trace::Histogram* backoff_slots = nullptr;
+    trace::Histogram* frame_airtime_us = nullptr;
   };
 
   struct NodeState {
@@ -147,7 +172,9 @@ class Medium {
   std::vector<ProcessId> contenders_;
   bool resolution_pending_ = false;
   SimTime busy_until_ = 0;
-  MediumStats stats_;
+  std::uint64_t next_trace_id_ = 0;
+  trace::MetricsRegistry metrics_;
+  HotCounters ctr_;
 };
 
 }  // namespace turq::net

@@ -21,6 +21,12 @@ TcpHost::TcpHost(sim::Simulator& simulator, Medium& medium, ProcessId self,
     TURQ_ASSERT_MSG(cpu_ != nullptr && costs_ != nullptr,
                     "authentication requires a CPU and cost model");
   }
+  ctr_.messages_sent = &metrics_.counter("tcp.messages_sent");
+  ctr_.segments_sent = &metrics_.counter("tcp.segments_sent");
+  ctr_.segments_retransmitted = &metrics_.counter("tcp.segments_retransmitted");
+  ctr_.rto_fires = &metrics_.counter("tcp.rto_fires");
+  ctr_.fast_retransmits = &metrics_.counter("tcp.fast_retransmits");
+  ctr_.auth_failures = &metrics_.counter("tcp.auth_failures");
   medium_.attach(self_, [this](ProcessId src, const Bytes& frame, bool bc) {
     if (!open_ || bc) return;
     on_frame(src, frame);
@@ -28,6 +34,17 @@ TcpHost::TcpHost(sim::Simulator& simulator, Medium& medium, ProcessId self,
 }
 
 TcpHost::~TcpHost() { close(); }
+
+TcpHost::Stats TcpHost::stats() const {
+  return Stats{
+      .messages_sent = ctr_.messages_sent->value(),
+      .segments_sent = ctr_.segments_sent->value(),
+      .segments_retransmitted = ctr_.segments_retransmitted->value(),
+      .rto_fires = ctr_.rto_fires->value(),
+      .fast_retransmits = ctr_.fast_retransmits->value(),
+      .auth_failures = ctr_.auth_failures->value(),
+  };
+}
 
 void TcpHost::close() {
   if (!open_) return;
@@ -63,7 +80,7 @@ void TcpHost::charge_auth(std::size_t bytes) {
 
 void TcpHost::send(ProcessId dst, Bytes message) {
   if (!open_ || disconnected_.contains(dst)) return;
-  ++stats_.messages_sent;
+  ctr_.messages_sent->add();
   if (dst == self_) {
     // Loopback: ordered and loss-free but still asynchronous.
     sim_.schedule(0, [this, msg = std::move(message)] {
@@ -87,7 +104,7 @@ void TcpHost::send_many(ProcessId dst, const std::vector<Bytes>& messages) {
   }
   Connection& c = conn(dst);
   for (const Bytes& m : messages) {
-    ++stats_.messages_sent;
+    ctr_.messages_sent->add();
     Writer framed;
     framed.bytes(m);
     for (const std::uint8_t byte : framed.data()) c.out_stream.push_back(byte);
@@ -143,10 +160,17 @@ void TcpHost::transmit_segment(ProcessId peer, std::uint32_t seq,
   if (it == c.in_flight.end()) return;  // already acked
   if (retransmit) {
     it->second.retransmitted = true;
-    ++stats_.segments_retransmitted;
+    ctr_.segments_retransmitted->add();
   }
   it->second.last_sent = sim_.now();
-  ++stats_.segments_sent;
+  ctr_.segments_sent->add();
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kChannel,
+                   .kind = retransmit ? trace::Kind::kSegmentRetransmit
+                                      : trace::Kind::kSegmentSend,
+                   .process = self_, .value = static_cast<std::int64_t>(peer),
+                   .frame = seq,
+                   .bytes = static_cast<std::uint32_t>(
+                       it->second.payload.size()));
   charge_auth(it->second.payload.size());
   // The data segment piggybacks our cumulative ACK.
   if (c.ack_timer != sim::kInvalidEvent) {
@@ -205,7 +229,10 @@ void TcpHost::on_rto(ProcessId peer) {
   Connection& c = conn(peer);
   c.rto_timer = sim::kInvalidEvent;
   if (c.in_flight.empty()) return;
-  ++stats_.rto_fires;
+  ctr_.rto_fires->add();
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kChannel,
+                   .kind = trace::Kind::kRtoFire, .process = self_,
+                   .value = static_cast<std::int64_t>(peer));
   c.backoff = std::min<std::uint32_t>(c.backoff + 1, 8);
   // Retransmit only the oldest unacked segment (classic timeout behaviour).
   transmit_segment(peer, c.in_flight.begin()->first, /*retransmit=*/true);
@@ -234,7 +261,7 @@ void TcpHost::on_frame(ProcessId src, const Bytes& frame) {
     crypto::Digest mac;
     std::copy(mac_bytes->begin(), mac_bytes->end(), mac.begin());
     if (!crypto::hmac_verify(c.key, w.data(), mac)) {
-      ++stats_.auth_failures;
+      ctr_.auth_failures->add();
       return;
     }
   }
@@ -332,7 +359,10 @@ void TcpHost::on_ack(ProcessId src, std::uint32_t ack, bool pure_ack) {
     // Duplicate ACK; three in a row trigger fast retransmit.
     if (++c.dup_acks == 3) {
       c.dup_acks = 0;
-      ++stats_.fast_retransmits;
+      ctr_.fast_retransmits->add();
+      TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kChannel,
+                       .kind = trace::Kind::kFastRetransmit, .process = self_,
+                       .value = static_cast<std::int64_t>(src));
       transmit_segment(src, c.in_flight.begin()->first, /*retransmit=*/true);
     }
   }

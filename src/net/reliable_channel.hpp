@@ -29,6 +29,7 @@
 #include "net/medium.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
+#include "trace/trace.hpp"
 
 namespace turq::net {
 
@@ -93,6 +94,8 @@ class TcpHost {
 
   [[nodiscard]] ProcessId self() const { return self_; }
 
+  /// Snapshot view assembled from metrics() — the registry is the single
+  /// counting path.
   struct Stats {
     std::uint64_t messages_sent = 0;
     std::uint64_t segments_sent = 0;
@@ -101,7 +104,10 @@ class TcpHost {
     std::uint64_t fast_retransmits = 0;
     std::uint64_t auth_failures = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const trace::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
 
  private:
   // Wire segment types.
@@ -166,7 +172,18 @@ class TcpHost {
   MessageHandler handler_;
   std::map<ProcessId, Connection> conns_;
   std::set<ProcessId> disconnected_;
-  Stats stats_;
+
+  /// Counters resolved once against metrics_ (stable map-node addresses).
+  struct HotCounters {
+    trace::Counter* messages_sent = nullptr;
+    trace::Counter* segments_sent = nullptr;
+    trace::Counter* segments_retransmitted = nullptr;
+    trace::Counter* rto_fires = nullptr;
+    trace::Counter* fast_retransmits = nullptr;
+    trace::Counter* auth_failures = nullptr;
+  };
+  trace::MetricsRegistry metrics_;
+  HotCounters ctr_;
 };
 
 }  // namespace turq::net

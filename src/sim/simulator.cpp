@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/assert.hpp"
+#include "trace/trace.hpp"
 
 namespace turq::sim {
 
@@ -37,6 +38,16 @@ bool Simulator::execute_next() {
     --pending_;
     now_ = entry.at;
     ++executed_;
+#if TURQ_TRACE_ENABLED
+    // Per-dispatch events are voluminous; they are only recorded when the
+    // installed tracer asked for them.
+    if (trace::Tracer* t = trace::current(); t && t->options().sim_events) {
+      t->emit(trace::TraceEvent{.at = now_,
+                                .category = trace::Category::kSim,
+                                .kind = trace::Kind::kSimEvent,
+                                .value = static_cast<std::int64_t>(entry.id)});
+    }
+#endif
     fn();
     return true;
   }

@@ -1,0 +1,16 @@
+// Trace analysis: turns a JSONL trace (JsonlSink output) back into the
+// paper-style tables — per-phase latency breakdown, channel utilization,
+// collision rate, and message complexity. Used by tools/trace_inspect and
+// by the golden-file test.
+#pragma once
+
+#include <istream>
+#include <string>
+
+namespace turq::trace {
+
+/// Reads a JSONL trace stream and renders the full report. Output is
+/// deterministic for a deterministic trace.
+[[nodiscard]] std::string inspect_jsonl(std::istream& in);
+
+}  // namespace turq::trace

@@ -1,0 +1,96 @@
+// Trace sinks: consumers of a flushed event stream.
+//
+// A Tracer::flush(sink) call delivers, in order: every held event (oldest
+// first), the run-level MetricsRegistry, then an end-of-stream marker. The
+// harness flushes once per repetition, so a multi-repetition scenario
+// produces one begin/end-marked block per repetition in the same sink.
+//
+// Three formats:
+//   * JsonlSink — one JSON object per line; the canonical machine format,
+//     read back by trace::inspect and tools/trace_inspect. Integers only on
+//     the event path, so byte-identical across identically seeded runs.
+//   * ChromeTraceSink — Chrome trace_event JSON ("Trace Event Format"),
+//     loadable directly in chrome://tracing or https://ui.perfetto.dev.
+//     One lane per process plus a channel lane; repetitions map to pids.
+//   * CsvSummarySink — metrics only, as name,value rows (histograms
+//     expanded per bucket), merged over all repetitions.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace turq::trace {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  virtual void on_event(const TraceEvent& event) = 0;
+  virtual void on_metrics(const MetricsRegistry& metrics) { (void)metrics; }
+  /// End of one flushed block (one repetition).
+  virtual void on_end(std::uint64_t emitted, std::uint64_t dropped) {
+    (void)emitted;
+    (void)dropped;
+  }
+  /// Finalizes the output (buffering sinks write here). Idempotent; called
+  /// by the destructor of sinks that buffer.
+  virtual void close() {}
+};
+
+class JsonlSink final : public Sink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+
+  void on_event(const TraceEvent& event) override;
+  void on_metrics(const MetricsRegistry& metrics) override;
+  void on_end(std::uint64_t emitted, std::uint64_t dropped) override;
+
+ private:
+  std::ostream& out_;
+};
+
+class ChromeTraceSink final : public Sink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out) : out_(out) {}
+  ~ChromeTraceSink() override { close(); }
+
+  void on_event(const TraceEvent& event) override;
+  void on_end(std::uint64_t emitted, std::uint64_t dropped) override;
+  void close() override;
+
+ private:
+  struct Held {
+    std::uint32_t rep;  // pid in the output
+    TraceEvent event;
+  };
+
+  std::ostream& out_;
+  std::vector<Held> events_;
+  std::uint32_t rep_ = 0;
+  bool closed_ = false;
+};
+
+class CsvSummarySink final : public Sink {
+ public:
+  explicit CsvSummarySink(std::ostream& out) : out_(out) {}
+  ~CsvSummarySink() override { close(); }
+
+  void on_event(const TraceEvent& event) override { (void)event; }
+  void on_metrics(const MetricsRegistry& metrics) override;
+  void on_end(std::uint64_t emitted, std::uint64_t dropped) override;
+  void close() override;
+
+ private:
+  std::ostream& out_;
+  MetricsRegistry merged_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace turq::trace

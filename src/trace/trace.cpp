@@ -1,0 +1,90 @@
+#include "trace/trace.hpp"
+
+#include "trace/sink.hpp"
+
+namespace turq::trace {
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::kSim: return "sim";
+    case Category::kMedium: return "medium";
+    case Category::kChannel: return "channel";
+    case Category::kProtocol: return "protocol";
+    case Category::kCrypto: return "crypto";
+    case Category::kHarness: return "harness";
+  }
+  return "?";
+}
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kSimEvent: return "sim_event";
+    case Kind::kFrameEnqueue: return "frame_enqueue";
+    case Kind::kFrameSuperseded: return "frame_superseded";
+    case Kind::kBackoffDraw: return "backoff_draw";
+    case Kind::kFrameTxStart: return "frame_tx";
+    case Kind::kFrameDelivered: return "frame_delivered";
+    case Kind::kFrameOmitted: return "frame_omitted";
+    case Kind::kFrameCollided: return "frame_collided";
+    case Kind::kFrameRetry: return "frame_retry";
+    case Kind::kFrameDropped: return "frame_dropped";
+    case Kind::kSegmentSend: return "segment_send";
+    case Kind::kSegmentRetransmit: return "segment_retransmit";
+    case Kind::kRtoFire: return "rto_fire";
+    case Kind::kFastRetransmit: return "fast_retransmit";
+    case Kind::kPropose: return "propose";
+    case Kind::kStateBroadcast: return "state_broadcast";
+    case Kind::kPhaseEnter: return "phase_enter";
+    case Kind::kRoundEnter: return "round_enter";
+    case Kind::kCoinFlip: return "coin_flip";
+    case Kind::kDecide: return "decide";
+    case Kind::kCrash: return "crash";
+    case Kind::kCryptoOp: return "crypto_op";
+    case Kind::kRepBegin: return "rep_begin";
+    case Kind::kRepEnd: return "rep_end";
+  }
+  return "?";
+}
+
+Tracer::Tracer(TracerOptions options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  ring_.reserve(options_.capacity);
+}
+
+void Tracer::emit(const TraceEvent& event) {
+  ++emitted_;
+  if (count_ < options_.capacity) {
+    ring_.push_back(event);
+    ++count_;
+    return;
+  }
+  // Full: overwrite the oldest slot.
+  ring_[start_] = event;
+  start_ = (start_ + 1) % options_.capacity;
+  ++dropped_;
+}
+
+void Tracer::flush(Sink& sink) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    sink.on_event(ring_[(start_ + i) % options_.capacity]);
+  }
+  sink.on_metrics(metrics_);
+  sink.on_end(emitted_, dropped_);
+}
+
+namespace {
+Tracer*& current_slot() {
+  static Tracer* current = nullptr;  // single-threaded simulator: no TLS
+  return current;
+}
+}  // namespace
+
+Tracer* current() { return current_slot(); }
+
+TraceScope::TraceScope(Tracer* tracer) : previous_(current_slot()) {
+  current_slot() = tracer;
+}
+
+TraceScope::~TraceScope() { current_slot() = previous_; }
+
+}  // namespace turq::trace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace turq::turquois {
 
@@ -35,6 +36,13 @@ void Process::propose(Value initial) {
   proposed_ = true;
   running_ = true;
   value_ = initial;
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kPropose, .process = id_,
+                   .phase = phase_,
+                   .value = static_cast<std::int64_t>(initial));
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kPhaseEnter, .process = id_,
+                   .phase = phase_);
   broadcast_state();
   // Drain datagrams buffered before the start signal (modeled OS buffer).
   std::vector<std::pair<ProcessId, Bytes>> queued;
@@ -43,6 +51,9 @@ void Process::propose(Value initial) {
 }
 
 void Process::crash() {
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kCrash, .process = id_,
+                   .phase = phase_);
   running_ = false;
   halted_ = true;
   prestart_.clear();
@@ -105,7 +116,17 @@ void Process::broadcast_state() {
   last_sent_ = state_key;
   ++stats_.broadcasts;
   cpu_.charge(costs_.udp_send);
-  endpoint_.send(d.encode());
+  Bytes encoded = d.encode();
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kStateBroadcast, .process = id_,
+                   .phase = phase_,
+                   .value = static_cast<std::int64_t>(value_),
+                   .bytes = static_cast<std::uint32_t>(encoded.size()));
+  trace::count("turquois.broadcasts");
+  trace::observe("turquois.broadcast_phase",
+                 {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 20, 30}, phase_);
+  if (repeat) trace::count("turquois.retransmission_ticks");
+  endpoint_.send(std::move(encoded));
   schedule_tick();
 }
 
@@ -219,6 +240,13 @@ void Process::on_datagram(ProcessId src, const Bytes& payload) {
   const SimDuration cost =
       costs_.udp_recv +
       static_cast<SimDuration>(contained) * costs_.ots_verify();
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kCrypto,
+                   .kind = trace::Kind::kCryptoOp, .process = id_,
+                   .phase = phase_, .value = cost,
+                   .bytes = static_cast<std::uint32_t>(contained));
+  trace::observe("crypto.verify_us",
+                 {10, 20, 50, 100, 200, 500, 1000, 2000, 5000},
+                 static_cast<double>(cost) / 1000.0);
   cpu_.execute(cost, [this, src, d = std::move(*datagram)] {
     if (!running_) return;
     (void)src;
@@ -370,12 +398,19 @@ void Process::adopt(const Message& m) {
     ++stats_.coin_flips;
     value_ = binary_value(rng_.coin());
     from_coin_ = true;
+    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                     .kind = trace::Kind::kCoinFlip, .process = id_,
+                     .phase = phase_,
+                     .value = static_cast<std::int64_t>(value_));
   } else {
     value_ = m.value;
     from_coin_ = m.from_coin;
   }
   status_ = m.status;
   jump_source_ = m;
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kPhaseEnter, .process = id_,
+                   .phase = phase_, .value = 1);  // value=1: entered by jump
 }
 
 void Process::quorum_transition() {
@@ -411,12 +446,20 @@ void Process::quorum_transition() {
         ++stats_.coin_flips;
         value_ = binary_value(rng_.coin());
         from_coin_ = true;
+        TURQ_TRACE_EVENT(.at = sim_.now(),
+                         .category = trace::Category::kProtocol,
+                         .kind = trace::Kind::kCoinFlip, .process = id_,
+                         .phase = phase_,
+                         .value = static_cast<std::int64_t>(value_));
       }
       break;
     }
   }
   phase_ += 1;  // line 38
   jump_source_.reset();
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kPhaseEnter, .process = id_,
+                   .phase = phase_);
 }
 
 std::string Process::explain_pending() const {
@@ -443,6 +486,12 @@ void Process::maybe_decide() {
   decision_ = value_;
   TURQ_DEBUG("p%u decided %s at phase %u t=%.3fms", id_,
              to_string(value_).c_str(), phase_, to_milliseconds(sim_.now()));
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+                   .kind = trace::Kind::kDecide, .process = id_,
+                   .phase = phase_,
+                   .value = static_cast<std::int64_t>(*decision_));
+  trace::observe("turquois.decide_phase", {3, 6, 9, 12, 15, 18, 24, 30},
+                 phase_);
   if (on_decide_) on_decide_(*decision_, phase_, sim_.now());
 }
 

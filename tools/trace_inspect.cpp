@@ -1,0 +1,37 @@
+// trace_inspect — renders a JSONL trace (produced with `turquois_sim
+// --trace run.jsonl` or any JsonlSink) as paper-style tables: per-phase
+// latency breakdown, channel utilization, collision rate, and message
+// complexity.
+//
+//   $ turquois_sim --protocol turquois --n 4 --reps 2 --trace run.jsonl
+//   $ trace_inspect run.jsonl
+//
+// With no argument (or "-") the trace is read from stdin.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "trace/inspect.hpp"
+
+int main(int argc, char** argv) {
+  if (argc > 2 || (argc == 2 && std::string(argv[1]) == "--help")) {
+    std::fprintf(stderr, "usage: %s [trace.jsonl]   (\"-\" or none: stdin)\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string report;
+  if (argc == 2 && std::string(argv[1]) != "-") {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "trace_inspect: cannot open %s\n", argv[1]);
+      return 1;
+    }
+    report = turq::trace::inspect_jsonl(in);
+  } else {
+    report = turq::trace::inspect_jsonl(std::cin);
+  }
+  std::fputs(report.c_str(), stdout);
+  return 0;
+}

@@ -10,9 +10,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "trace/sink.hpp"
 
 using namespace turq;
 using namespace turq::harness;
@@ -34,7 +37,12 @@ namespace {
       "  --broadcast-rate <bps>            e.g. 2e6 or 11e6 (default 2e6)\n"
       "  --timeout <s>                     per-run deadline (default 120)\n"
       "  --seed <S>                        root seed (default 1)\n"
-      "  --verbose                         per-repetition output\n",
+      "  --verbose                         per-repetition output\n"
+      "  --trace <path>                    write a structured event trace\n"
+      "  --trace-format jsonl|chrome       jsonl: one event per line, for\n"
+      "                                    trace_inspect (default); chrome:\n"
+      "                                    load in chrome://tracing/Perfetto\n"
+      "  --trace-sim-events                also trace scheduler dispatches\n",
       argv0);
   std::exit(2);
 }
@@ -46,6 +54,8 @@ int main(int argc, char** argv) {
   cfg.n = 7;
   cfg.repetitions = 20;
   bool verbose = false;
+  std::string trace_path;
+  std::string trace_format = "jsonl";
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -88,12 +98,35 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--trace-format") {
+      trace_format = next();
+      if (trace_format != "jsonl" && trace_format != "chrome") usage(argv[0]);
+    } else if (arg == "--trace-sim-events") {
+      cfg.trace_sim_events = true;
     } else {
       usage(argv[0]);
     }
   }
 
   if (cfg.n < 4 || cfg.n > 64) usage(argv[0]);
+
+  std::ofstream trace_out;
+  std::unique_ptr<trace::Sink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path, std::ios::binary);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot open trace file %s\n", trace_path.c_str());
+      return 2;
+    }
+    if (trace_format == "chrome") {
+      trace_sink = std::make_unique<trace::ChromeTraceSink>(trace_out);
+    } else {
+      trace_sink = std::make_unique<trace::JsonlSink>(trace_out);
+    }
+    cfg.trace_sink = trace_sink.get();
+  }
 
   std::printf("scenario: %s, n=%u (f=%u, k=%u), %s proposals, %s faults, "
               "%u reps, seed %llu\n",
@@ -103,8 +136,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cfg.seed));
 
   if (verbose) {
+    // The preview pass re-runs the same repetitions run_scenario runs;
+    // leave tracing to the scenario pass so each rep appears once.
+    ScenarioConfig preview = cfg;
+    preview.trace_sink = nullptr;
     for (std::uint32_t rep = 0; rep < cfg.repetitions; ++rep) {
-      const RunResult r = run_once(cfg, rep);
+      const RunResult r = run_once(preview, rep);
       std::printf("  rep %2u: %s decision=%s latencies(ms):", rep,
                   r.all_correct_decided ? "ok    " : "FAILED",
                   r.decision.has_value() ? to_string(*r.decision).c_str() : "-");
@@ -114,6 +151,13 @@ int main(int argc, char** argv) {
   }
 
   const ScenarioResult r = run_scenario(cfg);
+  if (trace_sink) {
+    trace_sink->close();
+    std::printf("trace: wrote %s (%s); inspect with: trace_inspect %s\n",
+                trace_path.c_str(), trace_format.c_str(),
+                trace_format == "jsonl" ? trace_path.c_str()
+                                        : "<jsonl traces only>");
+  }
   if (r.latency_ms.empty()) {
     std::printf("result: no successful repetitions (%u failed)\n",
                 r.failed_runs);
