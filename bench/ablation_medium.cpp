@@ -5,9 +5,14 @@
 // is n-1 frames plus MAC ACKs. This ablation measures frames and airtime
 // to disseminate one 64-byte payload to all receivers, for both transports
 // and for the broadcast basic-rate choice (2 vs 11 Mb/s).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 
 #include "common/rng.hpp"
+#include "harness/report.hpp"
 #include "net/broadcast_endpoint.hpp"
 #include "net/medium.hpp"
 #include "net/reliable_channel.hpp"
@@ -65,7 +70,35 @@ Outcome run_unicast(std::uint32_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  harness::BenchReport report;
+  report.name = "ablation_medium";
+  report.seed = 1;  // the fixed Rng(1) used by both transports
+  const auto started = std::chrono::steady_clock::now();
+  const auto record = [&report](const char* transport, std::uint32_t n,
+                                const Outcome& o, double rate_bps) {
+    harness::ReportCell cell;
+    cell.protocol = transport;
+    cell.n = n;
+    cell.distribution = "n/a";
+    cell.fault_load = "failure-free";
+    cell.repetitions = 1;
+    cell.extra["rate_bps"] = rate_bps;
+    cell.extra["frames"] = static_cast<double>(o.frames);
+    cell.extra["airtime_ms"] = o.airtime_ms;
+    cell.extra["delivered"] = static_cast<double>(o.delivered);
+    report.cells.push_back(std::move(cell));
+  };
+
   std::printf(
       "Ablation C — cost of delivering one 64-byte message to n-1 peers\n\n");
   std::printf("%4s | %28s | %28s | %28s\n", "n", "broadcast @2Mb/s",
@@ -78,6 +111,9 @@ int main() {
     const Outcome b2 = run_broadcast(n, 2e6);
     const Outcome b11 = run_broadcast(n, 11e6);
     const Outcome u = run_unicast(n);
+    record("broadcast", n, b2, 2e6);
+    record("broadcast", n, b11, 11e6);
+    record("tcp-unicast", n, u, 0);
     std::printf(
         "%4u | %9llu %9.3f %8llu | %9llu %9.3f %8llu | %9llu %9.3f %8llu\n",
         n, static_cast<unsigned long long>(b2.frames), b2.airtime_ms,
@@ -90,5 +126,13 @@ int main() {
   std::printf(
       "\nBroadcast reaches every receiver with one frame regardless of n;\n"
       "reliable unicast pays n-1 data frames plus TCP acknowledgements.\n");
+
+  if (!json_path.empty()) {
+    report.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+    if (!harness::write_json_report(report, json_path)) return 1;
+    std::fprintf(stderr, "json report: %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -7,9 +7,14 @@
 // σ bound for reference. Expected shape: graceful latency growth while the
 // per-round fault mass stays under the bound, sharp degradation beyond —
 // but never a safety violation (verified on every run).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/scheduler.hpp"
 #include "turquois/config.hpp"
 
 using namespace turq;
@@ -17,9 +22,26 @@ using namespace turq::harness;
 
 int main(int argc, char** argv) {
   std::uint32_t reps = 20;
+  std::uint32_t jobs = 1;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--quick") reps = 5;
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      reps = 5;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--jobs N] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
   }
+  BenchReport report;
+  report.name = "ablation_sigma";
+  report.jobs = effective_jobs(jobs);
+  const auto started = std::chrono::steady_clock::now();
 
   std::printf(
       "Ablation A — Turquois progress vs. injected omission rate\n"
@@ -42,7 +64,12 @@ int main(int argc, char** argv) {
       cfg.loss_rate = loss;
       cfg.bursty_loss = false;
       cfg.run_timeout = 20 * kSecond;
+      cfg.jobs = jobs;
       const ScenarioResult r = run_scenario(cfg);
+      ReportCell cell = make_cell(r);
+      cell.extra["loss_rate"] = loss;
+      cell.extra["sigma_bound"] = static_cast<double>(bound);
+      report.cells.push_back(std::move(cell));
       char latency[32];
       if (r.latency_ms.empty()) {
         std::snprintf(latency, sizeof(latency), "%10s", "n/a");
@@ -59,5 +86,14 @@ int main(int argc, char** argv) {
       "\nSafety holds at every loss rate (no violations expected above);\n"
       "liveness degrades gracefully and only stalls under extreme loss,\n"
       "matching the paper's fairness assumption.\n");
+
+  if (!json_path.empty()) {
+    report.seed = 0x51617;  // per-cell seed is 0x51617 + n
+    report.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+    if (!write_json_report(report, json_path)) return 1;
+    std::fprintf(stderr, "json report: %s\n", json_path.c_str());
+  }
   return 0;
 }

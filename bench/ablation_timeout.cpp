@@ -6,19 +6,41 @@
 // fail-stop load (where every quorum needs every survivor, so each lost
 // broadcast stalls until a retransmission) and under the failure-free load
 // (where an aggressive tick mostly adds contention).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <string_view>
 
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/scheduler.hpp"
 
 using namespace turq;
 using namespace turq::harness;
 
 int main(int argc, char** argv) {
   std::uint32_t reps = 20;
+  std::uint32_t jobs = 1;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--quick") reps = 5;
+    const std::string_view arg = argv[i];
+    if (arg == "--quick") {
+      reps = 5;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--jobs N] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
   }
+  BenchReport report;
+  report.name = "ablation_timeout";
+  report.jobs = effective_jobs(jobs);
+  const auto started = std::chrono::steady_clock::now();
 
   std::printf(
       "Ablation D — Turquois latency vs. clock-tick interval (ms)\n"
@@ -45,7 +67,12 @@ int main(int argc, char** argv) {
         cfg.seed = 0xD0 + n;
         cfg.tick_interval = tick;
         cfg.tick_jitter = tick / 5;
+        cfg.jobs = jobs;
         const ScenarioResult r = run_scenario(cfg);
+        ReportCell jcell = make_cell(r);
+        jcell.extra["tick_ms"] =
+            static_cast<double>(tick) / static_cast<double>(kMillisecond);
+        report.cells.push_back(std::move(jcell));
         if (r.latency_ms.empty()) {
           std::snprintf(cells[cell], sizeof(cells[cell]), "n/a (%u failed)",
                         r.failed_runs);
@@ -64,5 +91,14 @@ int main(int argc, char** argv) {
       "\nShorter ticks recover from losses faster but add contention at\n"
       "larger n; longer ticks stretch every stall — the 10 ms choice of the\n"
       "paper sits near the sweet spot.\n");
+
+  if (!json_path.empty()) {
+    report.seed = 0xD0;  // per-cell seed is 0xD0 + n
+    report.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+    if (!write_json_report(report, json_path)) return 1;
+    std::fprintf(stderr, "json report: %s\n", json_path.c_str());
+  }
   return 0;
 }

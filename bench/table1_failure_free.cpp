@@ -17,5 +17,5 @@ constexpr const char* kPaper =
 int main(int argc, char** argv) {
   return turq::bench::run_paper_table(
       argc, argv, turq::harness::FaultLoad::kFailureFree,
-      "Table 1 — failure-free fault load", kPaper);
+      "table1_failure_free", "Table 1 — failure-free fault load", kPaper);
 }

@@ -16,5 +16,5 @@ constexpr const char* kPaper =
 int main(int argc, char** argv) {
   return turq::bench::run_paper_table(
       argc, argv, turq::harness::FaultLoad::kFailStop,
-      "Table 2 — fail-stop fault load", kPaper);
+      "table2_fail_stop", "Table 2 — fail-stop fault load", kPaper);
 }

@@ -17,5 +17,5 @@ constexpr const char* kPaper =
 int main(int argc, char** argv) {
   return turq::bench::run_paper_table(
       argc, argv, turq::harness::FaultLoad::kByzantine,
-      "Table 3 — Byzantine fault load", kPaper);
+      "table3_byzantine", "Table 3 — Byzantine fault load", kPaper);
 }

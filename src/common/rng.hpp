@@ -69,6 +69,18 @@ class Rng {
   /// children with the same index but different tags do not collide.
   Rng derive(std::string_view tag, std::uint64_t index) const;
 
+  /// Canonical root of an independent derived stream: equivalent to
+  /// Rng(seed).derive(tag, index). The experiment harness seeds repetition
+  /// `rep` of a scenario with stream(cfg.seed, "rep", rep); because the
+  /// derivation depends only on (seed, tag, index), repetition streams are
+  /// independent of execution order — the property that lets the parallel
+  /// scheduler run repetitions on any thread in any order and still match
+  /// the sequential results bit for bit.
+  static Rng stream(std::uint64_t seed, std::string_view tag,
+                    std::uint64_t index) {
+    return Rng(seed).derive(tag, index);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

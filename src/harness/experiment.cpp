@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "adversary/strategies.hpp"
 #include "baselines/abba/abba.hpp"
 #include "baselines/bracha/bracha.hpp"
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "harness/scheduler.hpp"
 #include "net/broadcast_endpoint.hpp"
 #include "net/fault_injector.hpp"
 #include "net/reliable_channel.hpp"
@@ -408,9 +410,23 @@ RunResult run_abba(const ScenarioConfig& cfg, Rng root,
 
 }  // namespace
 
+std::optional<std::string> validate(const ScenarioConfig& cfg) {
+  if (cfg.repetitions == 0) {
+    return "repetitions must be >= 1 (a scenario with 0 repetitions has "
+           "no samples to pool)";
+  }
+  if (cfg.n < 4) {
+    return "group size n must be >= 4 (n = " + std::to_string(cfg.n) +
+           " gives f = 0, which degenerates the Byzantine quorums)";
+  }
+  if (cfg.loss_rate < 0.0 || cfg.loss_rate > 1.0) {
+    return "loss_rate must be a probability in [0, 1]";
+  }
+  return std::nullopt;
+}
+
 RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index) {
-  Rng root(cfg.seed);
-  Rng rep = root.derive("rep", rep_index);
+  Rng rep = Rng::stream(cfg.seed, "rep", rep_index);
 
 #if TURQ_TRACE_ENABLED
   // Each repetition gets a fresh tracer so the ring holds one run and the
@@ -449,10 +465,23 @@ RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index) {
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  if (const auto reason = validate(cfg)) {
+    throw std::invalid_argument("invalid scenario: " + *reason);
+  }
+
   ScenarioResult result;
   result.config = cfg;
-  for (std::uint32_t rep = 0; rep < cfg.repetitions; ++rep) {
-    const RunResult run = run_once(cfg, rep);
+  // The scheduler returns repetitions ordered by index whatever cfg.jobs
+  // is, so this merge — and everything derived from it — is deterministic.
+  for (const RepResult& rep : run_repetitions(cfg)) {
+    if (rep.crashed) {
+      TURQ_WARN("repetition %llu crashed: %s",
+                static_cast<unsigned long long>(rep.rep_index),
+                rep.error.c_str());
+      ++result.failed_runs;
+      continue;
+    }
+    const RunResult& run = rep.run;
     if (!run.agreement_held || !run.validity_held) ++result.safety_violations;
     if (!run.all_correct_decided) {
       ++result.failed_runs;

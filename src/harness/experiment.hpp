@@ -7,6 +7,10 @@
 // process's propose() and its decide. A scenario pools the latencies of
 // all correct processes over all repetitions and reports mean ± 95% CI,
 // exactly how the paper's tables are built.
+//
+// Repetitions are independent (run_once is pure in (cfg, rep_index)) and
+// are executed by the scheduler in scheduler.hpp — sequentially or across
+// a worker pool (ScenarioConfig::jobs) with bit-identical pooled results.
 #pragma once
 
 #include <optional>
@@ -33,11 +37,23 @@ std::string to_string(FaultLoad f);
 
 struct ScenarioConfig {
   Protocol protocol = Protocol::kTurquois;
+  /// Group size; must be >= 4 (the smallest group with f >= 1).
   std::uint32_t n = 4;
   ProposalDist distribution = ProposalDist::kUnanimous;
   FaultLoad fault_load = FaultLoad::kFailureFree;
+  /// Root seed. Everything a scenario does is a pure function of this seed
+  /// (plus the config), including the parallel schedule's pooled output.
   std::uint64_t seed = 1;
+  /// Number of independent repetitions to pool; must be >= 1.
   std::uint32_t repetitions = 50;
+
+  /// Worker threads for the repetition scheduler: 1 = run sequentially on
+  /// the calling thread (the default), 0 = auto-detect the hardware
+  /// concurrency, N > 1 = a pool of N std::jthread workers. Has no effect
+  /// on results: pooled statistics, table cells, JSON reports, and traces
+  /// are bit-identical for any jobs value (see DESIGN.md §Experiment
+  /// harness).
+  std::uint32_t jobs = 1;
 
   /// Wall guard per repetition (simulated time).
   SimDuration run_timeout = 120 * kSecond;
@@ -78,39 +94,62 @@ struct ScenarioConfig {
   /// Also record one trace event per simulator dispatch (voluminous).
   bool trace_sim_events = false;
 
+  /// Tolerated faults: f = floor((n-1)/3), the paper's resilience bound.
   [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
+  /// Decision quorum: k = n - f processes must decide for k-consensus.
   [[nodiscard]] std::uint32_t k() const { return n - f(); }
 };
 
+/// Checks a config for values that would silently run a degenerate
+/// scenario. Returns a human-readable reason when invalid, std::nullopt
+/// when the config is runnable. run_scenario() enforces this by throwing
+/// std::invalid_argument; CLI front-ends call it directly to print a clear
+/// error instead.
+[[nodiscard]] std::optional<std::string> validate(const ScenarioConfig& cfg);
+
 /// Outcome of one repetition.
 struct RunResult {
+  /// Every process in the correct set decided before the deadline.
   bool all_correct_decided = false;
+  /// At least k = n - f processes decided (the k-consensus success bar).
   bool k_decided = false;
+  /// No two correct processes decided different values.
   bool agreement_held = true;
+  /// Under the unanimous load, nobody decided the non-proposed value.
   bool validity_held = true;
+  /// The agreed value, when at least one correct process decided.
   std::optional<Value> decision;
   std::vector<double> latencies_ms;  // one per decided correct process
-  net::MediumStats medium;
+  net::MediumStats medium;           // channel counters for this repetition
   std::uint64_t app_messages = 0;    // protocol-level point-to-point sends
   net::TcpHost::Stats tcp;           // summed over hosts (baselines only)
 };
 
-/// Pooled outcome of a scenario.
+/// Pooled outcome of a scenario (one table cell).
 struct ScenarioResult {
   ScenarioConfig config;
+  /// Per-process decision latencies pooled over all completed repetitions,
+  /// in repetition order — identical for any ScenarioConfig::jobs value.
   SampleStats latency_ms;
   std::uint32_t failed_runs = 0;     // repetitions missing decisions
   std::uint32_t safety_violations = 0;
-  net::MediumStats medium_total;
+  net::MediumStats medium_total;     // channel counters summed over reps
 
+  /// Mean pooled latency in milliseconds.
   [[nodiscard]] double mean() const { return latency_ms.mean(); }
+  /// Half-width of the 95% confidence interval on the mean.
   [[nodiscard]] double ci95() const { return latency_ms.ci95_half_width(); }
 };
 
-/// Runs one repetition with a derived seed.
+/// Runs one repetition with the seed stream Rng::stream(cfg.seed, "rep",
+/// rep_index). Pure in (cfg, rep_index): safe to call from any thread, for
+/// any subset of indices, in any order.
 RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index);
 
-/// Runs the full scenario (all repetitions) and pools the results.
+/// Runs the full scenario and pools the results in repetition order.
+/// cfg.jobs > 1 (or 0 = auto) fans the repetitions out across a worker
+/// pool; the pooled result is bit-identical to the sequential run. Throws
+/// std::invalid_argument when validate(cfg) reports a problem.
 ScenarioResult run_scenario(const ScenarioConfig& cfg);
 
 }  // namespace turq::harness

@@ -1,0 +1,133 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace turq::harness {
+
+namespace {
+
+/// Shortest representation that round-trips a double (%.17g is exact for
+/// IEEE 754 binary64). Same double in, same bytes out — the property the
+/// determinism contract leans on.
+std::string json_double(double x) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", x);
+  return buf;
+}
+
+std::string json_u64(std::uint64_t x) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(x));
+  return buf;
+}
+
+void append_stats(std::string& out, const std::vector<double>& samples) {
+  SampleStats stats;
+  stats.add_all(samples);
+  out += "\"count\":" + json_u64(stats.count());
+  if (!stats.empty()) {
+    out += ",\"mean_ms\":" + json_double(stats.mean());
+    out += ",\"ci95_ms\":" + json_double(stats.ci95_half_width());
+    out += ",\"min_ms\":" + json_double(stats.min());
+    out += ",\"p50_ms\":" + json_double(stats.percentile(0.5));
+    out += ",\"p95_ms\":" + json_double(stats.percentile(0.95));
+    out += ",\"max_ms\":" + json_double(stats.max());
+  }
+}
+
+void append_cell(std::string& out, const ReportCell& cell) {
+  out += "{\"protocol\":\"" + cell.protocol + "\"";
+  out += ",\"n\":" + json_u64(cell.n);
+  out += ",\"distribution\":\"" + cell.distribution + "\"";
+  out += ",\"fault_load\":\"" + cell.fault_load + "\"";
+  out += ",\"repetitions\":" + json_u64(cell.repetitions);
+  out += ",\"failed_runs\":" + json_u64(cell.failed_runs);
+  out += ",\"safety_violations\":" + json_u64(cell.safety_violations);
+  out += ",";
+  append_stats(out, cell.latencies_ms);
+  out += ",\"latencies_ms\":[";
+  for (std::size_t i = 0; i < cell.latencies_ms.size(); ++i) {
+    if (i != 0) out += ",";
+    out += json_double(cell.latencies_ms[i]);
+  }
+  out += "]";
+  out += ",\"medium\":{";
+  out += "\"broadcast_frames\":" + json_u64(cell.medium.broadcast_frames);
+  out += ",\"unicast_frames\":" + json_u64(cell.medium.unicast_frames);
+  out += ",\"mac_retries\":" + json_u64(cell.medium.mac_retries);
+  out += ",\"collisions\":" + json_u64(cell.medium.collisions);
+  out += ",\"frames_collided\":" + json_u64(cell.medium.frames_collided);
+  out += ",\"unicast_drops\":" + json_u64(cell.medium.unicast_drops);
+  out += ",\"deliveries\":" + json_u64(cell.medium.deliveries);
+  out += ",\"omissions\":" + json_u64(cell.medium.omissions);
+  out += ",\"bytes_on_air\":" + json_u64(cell.medium.bytes_on_air);
+  out += ",\"airtime_ms\":" +
+         json_double(to_milliseconds(cell.medium.airtime));
+  out += "}";
+  if (!cell.extra.empty()) {
+    out += ",\"extra\":{";
+    bool first = true;
+    for (const auto& [key, value] : cell.extra) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + key + "\":" + json_double(value);
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+ReportCell make_cell(const ScenarioResult& result) {
+  ReportCell cell;
+  cell.protocol = to_string(result.config.protocol);
+  cell.n = result.config.n;
+  cell.distribution = to_string(result.config.distribution);
+  cell.fault_load = to_string(result.config.fault_load);
+  cell.repetitions = result.config.repetitions;
+  cell.failed_runs = result.failed_runs;
+  cell.safety_violations = result.safety_violations;
+  cell.latencies_ms = result.latency_ms.samples();
+  cell.medium = result.medium_total;
+  return cell;
+}
+
+std::string to_json(const BenchReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "\"schema\":\"" + std::string(kBenchSchema) + "\",\n";
+  out += "\"name\":\"" + report.name + "\",\n";
+  out += "\"seed\":" + json_u64(report.seed) + ",\n";
+  out += "\"cells\":[\n";
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    append_cell(out, report.cells[i]);
+    out += (i + 1 < report.cells.size()) ? ",\n" : "\n";
+  }
+  out += "],\n";
+  // Kept to one line so report-diffing tools can drop it; everything above
+  // is seed-deterministic.
+  out += "\"environment\":{\"jobs\":" + json_u64(report.jobs) +
+         ",\"wall_clock_seconds\":" + json_double(report.wall_seconds) +
+         "}\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_json_report(const BenchReport& report, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << to_json(report);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace turq::harness

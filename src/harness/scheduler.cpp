@@ -1,0 +1,94 @@
+#include "harness/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "trace/sink.hpp"
+
+namespace turq::harness {
+
+unsigned effective_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+/// Runs one repetition under the scheduler's exception barrier.
+RepResult run_one(const ScenarioConfig& cfg, std::uint64_t rep,
+                  const RepRunner& runner) {
+  RepResult result;
+  result.rep_index = rep;
+  try {
+    result.run = runner(cfg, rep);
+  } catch (const std::exception& e) {
+    result.crashed = true;
+    result.error = e.what();
+  } catch (...) {
+    result.crashed = true;
+    result.error = "unknown exception";
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<RepResult> run_repetitions(const ScenarioConfig& cfg,
+                                       const RepRunner& runner) {
+  const std::uint32_t reps = cfg.repetitions;
+  std::vector<RepResult> results(reps);
+
+  const unsigned jobs = effective_jobs(cfg.jobs);
+  if (jobs <= 1 || reps <= 1) {
+    // Sequential path: run inline, no pool, sink written directly.
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      results[rep] = run_one(cfg, rep, runner);
+    }
+    return results;
+  }
+
+  // Parallel path. Each worker claims the next unstarted repetition and
+  // runs it under a private config whose trace sink (if any) is a
+  // per-repetition buffer; slot `rep` of `results`/`buffers` belongs to
+  // exactly one worker, so no locking is needed beyond the claim counter.
+  std::vector<trace::BufferSink> buffers(
+      cfg.trace_sink != nullptr ? reps : 0);
+  std::atomic<std::uint32_t> next{0};
+  {
+    std::vector<std::jthread> workers;
+    const unsigned pool = std::min<unsigned>(jobs, reps);
+    workers.reserve(pool);
+    for (unsigned w = 0; w < pool; ++w) {
+      workers.emplace_back([&] {
+        for (;;) {
+          const std::uint32_t rep = next.fetch_add(1);
+          if (rep >= reps) return;
+          ScenarioConfig mine = cfg;
+          if (cfg.trace_sink != nullptr) mine.trace_sink = &buffers[rep];
+          results[rep] = run_one(mine, rep, runner);
+        }
+      });
+    }
+  }  // jthreads join here
+
+  // Deterministic merge: replay the per-repetition trace blocks in
+  // repetition order, exactly as the sequential path would have written
+  // them.
+  if (cfg.trace_sink != nullptr) {
+    for (const trace::BufferSink& buffer : buffers) {
+      buffer.replay(*cfg.trace_sink);
+    }
+  }
+  return results;
+}
+
+std::vector<RepResult> run_repetitions(const ScenarioConfig& cfg) {
+  return run_repetitions(cfg, [](const ScenarioConfig& c, std::uint64_t rep) {
+    return run_once(c, rep);
+  });
+}
+
+}  // namespace turq::harness

@@ -12,12 +12,20 @@
 
 namespace turq::harness {
 
+/// One paper table = the cross product of these axes. Defaults reproduce
+/// the grid of Tables 1-3 (5 group sizes x 3 protocols x 2 distributions).
 struct TableSpec {
+  /// Heading printed above the rendered table.
   std::string title;
+  /// Fault load applied to every cell (the axis that distinguishes
+  /// Table 1 / 2 / 3).
   FaultLoad fault_load = FaultLoad::kFailureFree;
+  /// Row axis: one row per group size n.
   std::vector<std::uint32_t> group_sizes = {4, 7, 10, 13, 16};
+  /// Column axis, outer: one column pair per protocol.
   std::vector<Protocol> protocols = {Protocol::kTurquois, Protocol::kAbba,
                                      Protocol::kBracha};
+  /// Column axis, inner: unanimous / divergent proposal distribution.
   std::vector<ProposalDist> distributions = {ProposalDist::kUnanimous,
                                              ProposalDist::kDivergent};
 };

@@ -16,6 +16,8 @@
 
 namespace turq::trace {
 
+/// Monotonic event counter. add() never wraps in practice (64-bit); value()
+/// is the running total since construction.
 class Counter {
  public:
   void add(std::uint64_t delta = 1) { value_ += delta; }

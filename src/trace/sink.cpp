@@ -207,6 +207,38 @@ void ChromeTraceSink::close() {
   events_.clear();
 }
 
+// ------------------------------------------------------------------ Buffer --
+
+void BufferSink::on_event(const TraceEvent& event) {
+  ops_.push_back(Op::kEvent);
+  events_.push_back(event);
+}
+
+void BufferSink::on_metrics(const MetricsRegistry& metrics) {
+  ops_.push_back(Op::kMetrics);
+  metrics_.push_back(metrics);
+}
+
+void BufferSink::on_end(std::uint64_t emitted, std::uint64_t dropped) {
+  ops_.push_back(Op::kEnd);
+  ends_.push_back(End{emitted, dropped});
+}
+
+void BufferSink::replay(Sink& sink) const {
+  std::size_t event = 0;
+  std::size_t metric = 0;
+  std::size_t end = 0;
+  for (const Op op : ops_) {
+    switch (op) {
+      case Op::kEvent: sink.on_event(events_[event++]); break;
+      case Op::kMetrics: sink.on_metrics(metrics_[metric++]); break;
+      case Op::kEnd: sink.on_end(ends_[end].emitted, ends_[end].dropped);
+        ++end;
+        break;
+    }
+  }
+}
+
 // -------------------------------------------------------------- CSV summary --
 
 void CsvSummarySink::on_metrics(const MetricsRegistry& metrics) {

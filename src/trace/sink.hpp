@@ -75,6 +75,40 @@ class ChromeTraceSink final : public Sink {
   bool closed_ = false;
 };
 
+/// Records a flushed stream verbatim in memory for later replay.
+///
+/// The parallel repetition scheduler gives each repetition its own
+/// BufferSink (filled on whichever worker thread ran the repetition) and
+/// replays the buffers into the user's real sink in repetition order once
+/// all workers are done. Replay preserves the exact call sequence
+/// (on_event / on_metrics / on_end), so a traced parallel run produces
+/// byte-identical output to the sequential run with the same seed.
+class BufferSink final : public Sink {
+ public:
+  void on_event(const TraceEvent& event) override;
+  void on_metrics(const MetricsRegistry& metrics) override;
+  void on_end(std::uint64_t emitted, std::uint64_t dropped) override;
+
+  /// Re-issues every recorded call against `sink`, in original order.
+  /// The buffer is left intact; replay is repeatable.
+  void replay(Sink& sink) const;
+
+  /// True when nothing has been recorded yet.
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+
+ private:
+  enum class Op : std::uint8_t { kEvent, kMetrics, kEnd };
+  struct End {
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  std::vector<Op> ops_;  // call sequence; payloads pop from the vectors below
+  std::vector<TraceEvent> events_;
+  std::vector<MetricsRegistry> metrics_;
+  std::vector<End> ends_;
+};
+
 class CsvSummarySink final : public Sink {
  public:
   explicit CsvSummarySink(std::ostream& out) : out_(out) {}

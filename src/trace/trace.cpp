@@ -74,7 +74,10 @@ void Tracer::flush(Sink& sink) {
 
 namespace {
 Tracer*& current_slot() {
-  static Tracer* current = nullptr;  // single-threaded simulator: no TLS
+  // One ambient tracer per thread: the simulator itself is single-threaded,
+  // but the harness scheduler runs one deployment per worker thread, each
+  // with its own scoped tracer.
+  thread_local Tracer* current = nullptr;
   return current;
 }
 }  // namespace

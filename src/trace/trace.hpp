@@ -12,7 +12,9 @@
 // single pointer (the currently installed Tracer) and is a no-op when none
 // is installed — the common case for benches. Installing a tracer is scoped
 // (TraceScope), matching the one-deployment-per-repetition structure of the
-// harness. The simulator is single-threaded, so no locking anywhere.
+// harness. The ambient pointer is thread_local: each harness worker thread
+// runs one deployment at a time under its own tracer, so no Tracer is ever
+// shared between threads and no locking is needed.
 //
 // Compile-out: building with -DTURQ_TRACE_DISABLED turns every emit macro
 // and helper into nothing, for a binary with provably zero tracing cost.
@@ -139,7 +141,9 @@ class Tracer {
   MetricsRegistry metrics_;
 };
 
-/// The ambient tracer, or nullptr when tracing is off (the default).
+/// The calling thread's ambient tracer, or nullptr when tracing is off
+/// (the default). Thread-local: a tracer installed on one harness worker is
+/// invisible to the others.
 [[nodiscard]] Tracer* current();
 
 /// True when an ambient tracer is installed. Guards instrumentation that is

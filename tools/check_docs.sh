@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run by the CI docs job and usable
+# locally:
+#
+#   tools/check_docs.sh [--links-only] [BUILD_DIR]
+#
+# 1. Link check: every relative markdown link in the repo's *.md files
+#    must point at an existing file (external http(s) links are skipped —
+#    CI has no network guarantee).
+# 2. Flag check: every `--flag` mentioned in README.md must appear in the
+#    --help/usage output of at least one built binary, so the README can
+#    never document a flag that doesn't exist. Needs a build; skipped
+#    under --links-only.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+links_only=0
+build_dir=build
+for arg in "$@"; do
+  case "$arg" in
+    --links-only) links_only=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+fail=0
+
+# ---------------------------------------------------------------- 1. links --
+echo "== markdown link check =="
+for md in *.md; do
+  case "$md" in
+    # Machine-generated retrieval artifacts, not maintained documentation.
+    SNIPPETS.md|PAPERS.md) continue ;;
+  esac
+  # Extract (target) parts of [text](target) links; fenced code blocks are
+  # stripped first (C++ lambdas like [](Value v) would parse as links).
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"   # drop in-file anchors
+    [ -z "$path" ] && continue
+    if [ ! -e "$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done < <(awk '/^```/{fence=!fence; next} !fence' "$md" |
+           grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//')
+done
+[ "$fail" -eq 0 ] && echo "links ok"
+
+if [ "$links_only" -eq 1 ]; then
+  exit "$fail"
+fi
+
+# ---------------------------------------------------------------- 2. flags --
+# Flags whose documentation in README refers to third-party tools (cmake,
+# ctest, google-benchmark) rather than to our binaries.
+ignore_flags="--output-on-failure --test-dir --benchmark_out --build"
+
+echo "== README flag check (build dir: $build_dir) =="
+binaries=(
+  "$build_dir/tools/turquois_sim"
+  "$build_dir/tools/trace_inspect"
+  "$build_dir/bench/table1_failure_free"
+  "$build_dir/bench/ablation_sigma"
+  "$build_dir/bench/ablation_medium"
+  "$build_dir/bench/ablation_timeout"
+)
+for bin in "${binaries[@]}"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing binary: $bin (build first, or pass the build dir)"
+    exit 1
+  fi
+done
+
+# Usage text of every binary (they print usage and exit non-zero on --help).
+help_text=$(for bin in "${binaries[@]}"; do "$bin" --help 2>&1 || true; done)
+
+while IFS= read -r flag; do
+  case " $ignore_flags " in
+    *" $flag "*) continue ;;
+  esac
+  if ! grep -qF -- "$flag" <<<"$help_text"; then
+    echo "UNDOCUMENTED-IN-HELP: README.md mentions '$flag' but no binary's"
+    echo "  usage output contains it"
+    fail=1
+  fi
+done < <(grep -oE '\-\-[a-z][a-z_-]+' README.md | sort -u)
+[ "$fail" -eq 0 ] && echo "flags ok"
+
+exit "$fail"

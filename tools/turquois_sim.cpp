@@ -14,7 +14,11 @@
 #include <memory>
 #include <string>
 
+#include <chrono>
+
 #include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/scheduler.hpp"
 #include "trace/sink.hpp"
 
 using namespace turq;
@@ -37,6 +41,12 @@ namespace {
       "  --broadcast-rate <bps>            e.g. 2e6 or 11e6 (default 2e6)\n"
       "  --timeout <s>                     per-run deadline (default 120)\n"
       "  --seed <S>                        root seed (default 1)\n"
+      "  --jobs <N>                        worker threads for repetitions\n"
+      "                                    (default 1, 0 = auto-detect);\n"
+      "                                    results are bit-identical for\n"
+      "                                    any N\n"
+      "  --json <path>                     write the pooled result as a\n"
+      "                                    machine-readable report\n"
       "  --verbose                         per-repetition output\n"
       "  --trace <path>                    write a structured event trace\n"
       "  --trace-format jsonl|chrome       jsonl: one event per line, for\n"
@@ -56,6 +66,7 @@ int main(int argc, char** argv) {
   bool verbose = false;
   std::string trace_path;
   std::string trace_format = "jsonl";
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -96,6 +107,10 @@ int main(int argc, char** argv) {
       cfg.run_timeout = std::atoll(next()) * kSecond;
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--jobs") {
+      cfg.jobs = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--json") {
+      json_path = next();
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--trace") {
@@ -110,7 +125,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (cfg.n < 4 || cfg.n > 64) usage(argv[0]);
+  if (const auto reason = validate(cfg)) {
+    std::fprintf(stderr, "invalid scenario: %s\n", reason->c_str());
+    return 2;
+  }
+  if (cfg.n > 64) {
+    std::fprintf(stderr, "invalid scenario: group size n must be <= 64\n");
+    return 2;
+  }
 
   std::ofstream trace_out;
   std::unique_ptr<trace::Sink> trace_sink;
@@ -150,7 +172,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  const auto started = std::chrono::steady_clock::now();
   const ScenarioResult r = run_scenario(cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  if (!json_path.empty()) {
+    BenchReport report;
+    report.name = "turquois_sim";
+    report.seed = cfg.seed;
+    report.jobs = effective_jobs(cfg.jobs);
+    report.wall_seconds = wall;
+    report.cells.push_back(make_cell(r));
+    if (!write_json_report(report, json_path)) return 2;
+    std::printf("json report: %s\n", json_path.c_str());
+  }
   if (trace_sink) {
     trace_sink->close();
     std::printf("trace: wrote %s (%s); inspect with: trace_inspect %s\n",
