@@ -38,7 +38,7 @@ Outcome run_broadcast(std::uint32_t n, double rate_bps) {
   for (ProcessId id = 0; id < n; ++id) {
     eps.push_back(std::make_unique<net::BroadcastEndpoint>(sim, medium, id));
     eps.back()->set_handler(
-        [&delivered](ProcessId, const Bytes&) { ++delivered; });
+        [&delivered](ProcessId, BytesView) { ++delivered; });
   }
   eps[0]->send(Bytes(64, 0xAA));
   sim.run();
@@ -57,7 +57,7 @@ Outcome run_unicast(std::uint32_t n) {
     hosts.push_back(
         std::make_unique<net::TcpHost>(sim, medium, id, net::TcpConfig{}));
     hosts.back()->set_handler(
-        [&delivered](ProcessId, const Bytes&) { ++delivered; });
+        [&delivered](ProcessId, BytesView) { ++delivered; });
   }
   for (ProcessId dst = 0; dst < n; ++dst) {
     hosts[0]->send(dst, Bytes(64, 0xAA));

@@ -1,0 +1,124 @@
+// Small-buffer move-only callable for the simulator hot path.
+//
+// std::function heap-allocates once a capture outgrows its (typically
+// 16-byte) inline buffer, and the event loop's captures routinely carry a
+// Message plus a couple of pointers. InlineFunction widens the inline
+// buffer so every steady-state capture in the codebase fits without
+// touching the heap; oversized captures still work via a heap fallback so
+// the type stays a drop-in replacement rather than a footgun.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace turq {
+
+class InlineFunction {
+ public:
+  /// Inline capture budget. Sized for the largest steady-state capture in
+  /// the stack (Process::on_datagram moves a decoded Datagram — a Message
+  /// plus a justification vector — alongside two scalars: ~80 bytes).
+  static constexpr std::size_t kInlineSize = 96;
+
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      vtable_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() {
+    TURQ_ASSERT_MSG(vtable_ != nullptr, "invoking an empty InlineFunction");
+    vtable_->invoke(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type Fn is stored without a heap allocation.
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* buf);
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename Fn>
+  static Fn* as(void* buf) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(buf));
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{
+      [](void* buf) { (*as<Fn>(buf))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*as<Fn>(src)));
+        as<Fn>(src)->~Fn();
+      },
+      [](void* buf) noexcept { as<Fn>(buf)->~Fn(); }};
+
+  // The heap variants store a single Fn* in the buffer; the pointer itself
+  // is trivially destructible, so relocate/destroy only manage the pointee.
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{
+      [](void* buf) { (**as<Fn*>(buf))(); },
+      [](void* dst, void* src) noexcept { ::new (dst) Fn*(*as<Fn*>(src)); },
+      [](void* buf) noexcept { delete *as<Fn*>(buf); }};
+
+  void take(InlineFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(buf_, other.buf_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace turq

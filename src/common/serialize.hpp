@@ -20,6 +20,11 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Pre-sizes the buffer for `extra` more bytes beyond what is already
+  /// written. Encoders whose size is known up front call this once so the
+  /// append path never reallocates mid-message.
+  void reserve(std::size_t extra) { buf_.reserve(buf_.size() + extra); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { append_le(v); }
   void u32(std::uint32_t v) { append_le(v); }

@@ -2,7 +2,7 @@
 
 namespace turq::crypto {
 
-Digest hmac_sha256(BytesView key, BytesView message) {
+HmacKey::HmacKey(BytesView key) {
   std::array<std::uint8_t, kSha256BlockSize> k_pad{};
   if (key.size() > kSha256BlockSize) {
     const Digest kh = Sha256::hash(key);
@@ -11,28 +11,39 @@ Digest hmac_sha256(BytesView key, BytesView message) {
     std::copy(key.begin(), key.end(), k_pad.begin());
   }
 
-  std::array<std::uint8_t, kSha256BlockSize> ipad{};
-  std::array<std::uint8_t, kSha256BlockSize> opad{};
+  std::array<std::uint8_t, kSha256BlockSize> pad{};
   for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x5c);
+    pad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x36);
   }
+  inner_.update(BytesView(pad.data(), pad.size()));
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    pad[i] = static_cast<std::uint8_t>(k_pad[i] ^ 0x5c);
+  }
+  outer_.update(BytesView(pad.data(), pad.size()));
+}
 
-  Sha256 inner;
-  inner.update(BytesView(ipad.data(), ipad.size()));
+Digest HmacKey::mac(BytesView message) const {
+  Sha256 inner = inner_;  // resume from the pre-absorbed pad state
   inner.update(message);
   const Digest inner_digest = inner.finalize();
 
-  Sha256 outer;
-  outer.update(BytesView(opad.data(), opad.size()));
+  Sha256 outer = outer_;
   outer.update(BytesView(inner_digest.data(), inner_digest.size()));
   return outer.finalize();
 }
 
+bool HmacKey::verify(BytesView message, const Digest& expected) const {
+  const Digest got = mac(message);
+  return constant_time_equal(BytesView(got.data(), got.size()),
+                             BytesView(expected.data(), expected.size()));
+}
+
+Digest hmac_sha256(BytesView key, BytesView message) {
+  return HmacKey(key).mac(message);
+}
+
 bool hmac_verify(BytesView key, BytesView message, const Digest& mac) {
-  const Digest expect = hmac_sha256(key, message);
-  return constant_time_equal(BytesView(expect.data(), expect.size()),
-                             BytesView(mac.data(), mac.size()));
+  return HmacKey(key).verify(message, mac);
 }
 
 }  // namespace turq::crypto

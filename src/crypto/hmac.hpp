@@ -15,4 +15,21 @@ Digest hmac_sha256(BytesView key, BytesView message);
 /// Verifies in constant time.
 bool hmac_verify(BytesView key, BytesView message, const Digest& mac);
 
+/// A key with its inner/outer pads pre-absorbed. Connections that MAC many
+/// segments under one key (the Bracha channel authenticator) skip the two
+/// pad-block compressions every hmac_sha256() call would otherwise redo;
+/// the digests are identical to hmac_sha256(key, message).
+class HmacKey {
+ public:
+  HmacKey() = default;
+  explicit HmacKey(BytesView key);
+
+  [[nodiscard]] Digest mac(BytesView message) const;
+  [[nodiscard]] bool verify(BytesView message, const Digest& mac) const;
+
+ private:
+  Sha256 inner_;  // state after absorbing key ^ ipad
+  Sha256 outer_;  // state after absorbing key ^ opad
+};
+
 }  // namespace turq::crypto

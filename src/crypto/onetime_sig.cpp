@@ -57,6 +57,7 @@ const Digest& VerificationKeyArray::key(Phase phase, Value v) const {
 
 Bytes VerificationKeyArray::serialize() const {
   Writer w;
+  w.reserve(4 + 4 + 4 + keys_.size() * kSha256DigestSize);
   w.u32(owner_);
   w.u32(first_phase_);
   w.u32(static_cast<std::uint32_t>(keys_.size()));

@@ -107,20 +107,21 @@ void Sha256::update(BytesView data) {
 
 Digest Sha256::finalize() {
   const std::uint64_t bit_len = total_len_ * 8;
-  // Padding: 0x80 then zeros then 64-bit big-endian length.
-  const std::uint8_t pad_byte = 0x80;
-  update(BytesView(&pad_byte, 1));
-  total_len_ -= 1;  // padding does not count toward message length
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) {
-    update(BytesView(&zero, 1));
-    total_len_ -= 1;
+  // Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian length —
+  // written into the block buffer in place and compressed as one or two
+  // whole blocks (not byte-at-a-time updates, which dominated profiles).
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, kSha256BlockSize - buffer_len_);
+    process_block(buffer_.data());
+    buffer_len_ = 0;
   }
-  std::uint8_t len_bytes[8];
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
   for (int i = 0; i < 8; ++i) {
-    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
   }
-  update(BytesView(len_bytes, 8));
+  process_block(buffer_.data());
+  buffer_len_ = 0;
 
   Digest out;
   for (int i = 0; i < 8; ++i) {

@@ -165,7 +165,7 @@ RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
 // ----------------------------------------------------------- per protocol --
 
 RunResult run_turquois(const ScenarioConfig& cfg, Rng root,
-                       std::uint64_t rep_index) {
+                       std::uint64_t rep_index, const ScenarioSetup* setup) {
   Deployment d;
   d.rep_index = rep_index;
   split_roles(cfg, d);
@@ -174,8 +174,15 @@ RunResult run_turquois(const ScenarioConfig& cfg, Rng root,
   turquois::Config tcfg = turquois::Config::for_group(cfg.n);
   tcfg.tick_interval = cfg.tick_interval;
   tcfg.tick_jitter = cfg.tick_jitter;
-  const turquois::KeyInfrastructure keys =
-      turquois::KeyInfrastructure::setup(tcfg, root);
+  // Reuse the hoisted key infrastructure when the scheduler provides one;
+  // KeyInfrastructure::setup only derive()s from root (never consumes it),
+  // so skipping it leaves every other stream of this repetition untouched.
+  std::optional<turquois::KeyInfrastructure> local_keys;
+  if (setup == nullptr || !setup->turquois_keys.has_value()) {
+    local_keys = turquois::KeyInfrastructure::setup(tcfg, root);
+  }
+  const turquois::KeyInfrastructure& keys =
+      local_keys.has_value() ? *local_keys : *setup->turquois_keys;
 
   std::vector<std::unique_ptr<net::BroadcastEndpoint>> endpoints;
   std::vector<std::unique_ptr<turquois::Process>> procs;
@@ -227,8 +234,23 @@ RunResult run_turquois(const ScenarioConfig& cfg, Rng root,
   return collect(cfg, d);
 }
 
+/// Shared pairwise HMAC keys (the pre-established security associations).
+std::vector<std::vector<Bytes>> make_sa_keys(std::uint32_t n, Rng& root) {
+  Rng key_rng = root.derive("sa-keys", 0);
+  std::vector<std::vector<Bytes>> keys(n, std::vector<Bytes>(n));
+  for (ProcessId a = 0; a < n; ++a) {
+    for (ProcessId b = a; b < n; ++b) {
+      Bytes key(32);
+      for (auto& byte : key) byte = static_cast<std::uint8_t>(key_rng.next());
+      keys[a][b] = key;
+      keys[b][a] = std::move(key);
+    }
+  }
+  return keys;
+}
+
 RunResult run_bracha(const ScenarioConfig& cfg, Rng root,
-                     std::uint64_t rep_index) {
+                     std::uint64_t rep_index, const ScenarioSetup* setup) {
   Deployment d;
   d.rep_index = rep_index;
   split_roles(cfg, d);
@@ -238,17 +260,14 @@ RunResult run_bracha(const ScenarioConfig& cfg, Rng root,
   net::TcpConfig tcp = cfg.tcp;
   tcp.authenticate = true;  // IPSec AH analogue
 
-  // Shared pairwise HMAC keys (the pre-established security associations).
-  Rng key_rng = root.derive("sa-keys", 0);
-  std::vector<std::vector<Bytes>> keys(cfg.n, std::vector<Bytes>(cfg.n));
-  for (ProcessId a = 0; a < cfg.n; ++a) {
-    for (ProcessId b = a; b < cfg.n; ++b) {
-      Bytes key(32);
-      for (auto& byte : key) byte = static_cast<std::uint8_t>(key_rng.next());
-      keys[a][b] = key;
-      keys[b][a] = std::move(key);
-    }
+  // make_sa_keys only consumes a derived stream, so hoisting it is
+  // stream-neutral for the rest of the repetition.
+  std::vector<std::vector<Bytes>> local_keys;
+  if (setup == nullptr || setup->sa_keys.empty()) {
+    local_keys = make_sa_keys(cfg.n, root);
   }
+  const std::vector<std::vector<Bytes>>& keys =
+      local_keys.empty() ? setup->sa_keys : local_keys;
 
   std::vector<std::unique_ptr<net::TcpHost>> hosts;
   std::vector<std::unique_ptr<bracha::Process>> procs;
@@ -336,6 +355,10 @@ RunResult run_abba(const ScenarioConfig& cfg, Rng root,
   setup_medium(cfg, d, root);
 
   const abba::Config acfg = abba::Config::for_group(cfg.n);
+  // Per-repetition on purpose: the dealer's threshold shares combine into
+  // the common-coin values, so hoisting them would change every coin flip
+  // (unlike the Turquois/Bracha key material, which never steers control
+  // flow).
   Rng dealer_rng = root.derive("dealer", 0);
   const abba::Dealer dealer = abba::Dealer::setup(acfg, dealer_rng);
   net::TcpConfig tcp = cfg.tcp;  // plain TCP: ABBA authenticates itself
@@ -425,7 +448,33 @@ std::optional<std::string> validate(const ScenarioConfig& cfg) {
   return std::nullopt;
 }
 
+std::shared_ptr<const ScenarioSetup> make_scenario_setup(
+    const ScenarioConfig& cfg) {
+  auto setup = std::make_shared<ScenarioSetup>();
+  // Derived from the repetition-0 stream: repetition 0 under the hoisted
+  // path is byte-for-byte the deployment the unhoisted path builds.
+  Rng root = Rng::stream(cfg.seed, "rep", 0);
+  switch (cfg.protocol) {
+    case Protocol::kTurquois: {
+      const turquois::Config tcfg = turquois::Config::for_group(cfg.n);
+      setup->turquois_keys = turquois::KeyInfrastructure::setup(tcfg, root);
+      break;
+    }
+    case Protocol::kBracha:
+      setup->sa_keys = make_sa_keys(cfg.n, root);
+      break;
+    case Protocol::kAbba:
+      break;  // the dealer must stay per-repetition (see run_abba)
+  }
+  return setup;
+}
+
 RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index) {
+  return run_once(cfg, rep_index, nullptr);
+}
+
+RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index,
+                   const ScenarioSetup* setup) {
   Rng rep = Rng::stream(cfg.seed, "rep", rep_index);
 
 #if TURQ_TRACE_ENABLED
@@ -448,10 +497,10 @@ RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index) {
   RunResult result;
   switch (cfg.protocol) {
     case Protocol::kTurquois:
-      result = run_turquois(cfg, rep, rep_index);
+      result = run_turquois(cfg, rep, rep_index, setup);
       break;
     case Protocol::kBracha:
-      result = run_bracha(cfg, rep, rep_index);
+      result = run_bracha(cfg, rep, rep_index, setup);
       break;
     case Protocol::kAbba:
       result = run_abba(cfg, rep, rep_index);

@@ -13,6 +13,7 @@
 // a worker pool (ScenarioConfig::jobs) with bit-identical pooled results.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "net/fault_injector.hpp"
 #include "net/medium.hpp"
 #include "net/reliable_channel.hpp"
+#include "turquois/key_infra.hpp"
 
 namespace turq::harness {
 
@@ -141,10 +143,37 @@ struct ScenarioResult {
   [[nodiscard]] double ci95() const { return latency_ms.ci95_half_width(); }
 };
 
+/// Immutable setup shared by every repetition of a scenario: the Turquois
+/// key infrastructure and the Bracha pairwise SA keys. Generating key
+/// material is the dominant per-repetition setup cost (hundreds of SHA-256
+/// key chains per process), and key BYTES never influence protocol
+/// dynamics — only their structural relationships do (each revealed SK
+/// hashes to its published VK; each SA key pair matches), and those hold
+/// identically whichever stream minted them. So the scheduler builds this
+/// once (from the repetition-0 stream) and shares it read-only across
+/// workers; see DESIGN.md §10 for the full correctness argument. The ABBA
+/// dealer is deliberately NOT here: its threshold-signature shares
+/// determine the common-coin values, which do steer control flow.
+struct ScenarioSetup {
+  std::optional<turquois::KeyInfrastructure> turquois_keys;
+  std::vector<std::vector<Bytes>> sa_keys;  // [a][b] == [b][a]
+};
+
+/// Builds the setup `run_once` would derive for repetition 0 of `cfg`.
+[[nodiscard]] std::shared_ptr<const ScenarioSetup> make_scenario_setup(
+    const ScenarioConfig& cfg);
+
 /// Runs one repetition with the seed stream Rng::stream(cfg.seed, "rep",
 /// rep_index). Pure in (cfg, rep_index): safe to call from any thread, for
 /// any subset of indices, in any order.
 RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index);
+
+/// As above, reusing a hoisted `setup` (nullptr = derive everything from
+/// the repetition stream, exactly the two-argument overload). All observable
+/// results — latencies, counters, traces, reports — are identical either
+/// way; only wall-clock differs.
+RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index,
+                   const ScenarioSetup* setup);
 
 /// Runs the full scenario and pools the results in repetition order.
 /// cfg.jobs > 1 (or 0 = auto) fans the repetitions out across a worker

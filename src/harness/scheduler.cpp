@@ -86,9 +86,13 @@ std::vector<RepResult> run_repetitions(const ScenarioConfig& cfg,
 }
 
 std::vector<RepResult> run_repetitions(const ScenarioConfig& cfg) {
-  return run_repetitions(cfg, [](const ScenarioConfig& c, std::uint64_t rep) {
-    return run_once(c, rep);
-  });
+  // Key material is generated once and shared read-only by every worker
+  // (results are identical to per-repetition generation; see ScenarioSetup).
+  const std::shared_ptr<const ScenarioSetup> setup = make_scenario_setup(cfg);
+  return run_repetitions(
+      cfg, [setup](const ScenarioConfig& c, std::uint64_t rep) {
+        return run_once(c, rep, setup.get());
+      });
 }
 
 }  // namespace turq::harness

@@ -5,13 +5,12 @@ namespace turq::net {
 BroadcastEndpoint::BroadcastEndpoint(sim::Simulator& simulator, Medium& medium,
                                      ProcessId self)
     : sim_(simulator), medium_(medium), self_(self) {
-  medium_.attach(self_, [this](ProcessId src, const Bytes& frame, bool bc) {
+  medium_.attach(self_, [this](ProcessId src, BytesView frame, bool bc) {
     if (!open_ || !bc || !handler_) return;
     if (frame.size() < kUdpIpOverhead) return;  // malformed frame
-    // Strip the modeled UDP/IP overhead (padded at the tail on send).
-    const Bytes payload(frame.begin(),
-                        frame.end() - static_cast<std::ptrdiff_t>(kUdpIpOverhead));
-    handler_(src, payload);
+    // Strip the modeled UDP/IP overhead (padded at the tail on send); a
+    // subspan of the shared frame, no copy.
+    handler_(src, frame.first(frame.size() - kUdpIpOverhead));
   });
 }
 
@@ -22,15 +21,17 @@ BroadcastEndpoint::~BroadcastEndpoint() {
 void BroadcastEndpoint::send(Bytes payload) {
   if (!open_) return;
   ++sent_;
-  // Loopback copy: local delivery is immediate and loss-free.
-  sim_.schedule(0, [this, copy = payload] {
-    if (open_ && handler_) handler_(self_, copy);
-  });
-  // Over-the-air copy carries UDP/IP headers; the medium adds MAC overhead.
-  Bytes frame = std::move(payload);
-  frame.resize(frame.size() + kUdpIpOverhead);  // header bytes are opaque
+  // One immutable frame serves the loopback delivery and all n-1 receivers.
+  // Over-the-air it carries UDP/IP headers; the medium adds MAC overhead.
   // Headers conceptually precede the payload, but receivers only see the
   // payload portion; keep payload bytes at the front and pad the tail.
+  const std::size_t payload_size = payload.size();
+  payload.resize(payload_size + kUdpIpOverhead);  // header bytes are opaque
+  auto frame = std::make_shared<const Bytes>(std::move(payload));
+  // Loopback: local delivery is immediate and loss-free.
+  sim_.schedule(0, [this, frame, payload_size] {
+    if (open_ && handler_) handler_(self_, BytesView(*frame).first(payload_size));
+  });
   medium_.send_broadcast(self_, std::move(frame));
 }
 

@@ -17,7 +17,9 @@ namespace turq::net {
 
 class BroadcastEndpoint {
  public:
-  using DatagramHandler = std::function<void(ProcessId src, const Bytes& payload)>;
+  /// The view aliases the shared in-flight frame and is only valid for the
+  /// duration of the call; handlers copy what they keep (a decoded datagram).
+  using DatagramHandler = std::function<void(ProcessId src, BytesView payload)>;
 
   static constexpr std::size_t kUdpIpOverhead = 28;  // IPv4 + UDP headers
 

@@ -43,12 +43,21 @@ MediumStats Medium::stats() const {
 }
 
 void Medium::attach(ProcessId id, ReceiveHandler handler) {
-  TURQ_ASSERT_MSG(!nodes_.contains(id), "node already attached");
-  nodes_[id].handler = std::move(handler);
+  if (nodes_.size() <= id) nodes_.resize(id + 1);
+  NodeState& node = nodes_[id];
+  TURQ_ASSERT_MSG(!node.attached, "node already attached");
+  node.attached = true;
+  node.handler = std::make_shared<const ReceiveHandler>(std::move(handler));
 }
 
 void Medium::detach(ProcessId id) {
-  nodes_.erase(id);
+  if (id >= nodes_.size()) return;
+  NodeState& node = nodes_[id];
+  node.attached = false;
+  node.handler.reset();  // in-flight deliveries hold their own reference
+  node.queue.clear();
+  node.contending = false;
+  node.transmitting = false;
   // Drop any stale contention entry; a later re-attach under the same id
   // (fresh protocol instance) must start clean.
   std::erase(contenders_, id);
@@ -65,7 +74,7 @@ SimDuration Medium::frame_airtime(std::size_t payload_bytes,
 SimDuration Medium::airtime_of(const Frame& frame) const {
   const double rate = frame.is_broadcast() ? config_.broadcast_rate_bps
                                            : config_.unicast_rate_bps;
-  return frame_airtime(frame.payload.size(), rate);
+  return frame_airtime(frame.size(), rate);
 }
 
 SimDuration Medium::ack_airtime() const {
@@ -76,12 +85,18 @@ SimDuration Medium::ack_airtime() const {
 }
 
 void Medium::send_broadcast(ProcessId src, Bytes payload, bool replace_queued) {
-  TURQ_ASSERT_MSG(payload.size() <= config_.max_frame_bytes,
+  send_broadcast(src, std::make_shared<const Bytes>(std::move(payload)),
+                 replace_queued);
+}
+
+void Medium::send_broadcast(ProcessId src, FramePayload payload,
+                            bool replace_queued) {
+  TURQ_ASSERT_MSG(payload != nullptr, "broadcast payload must be non-null");
+  TURQ_ASSERT_MSG(payload->size() <= config_.max_frame_bytes,
                   "frame exceeds MSDU limit; fragment at a higher layer");
   if (replace_queued) {
-    const auto it = nodes_.find(src);
-    if (it != nodes_.end()) {
-      NodeState& node = it->second;
+    if (NodeState* found = node_of(src)) {
+      NodeState& node = *found;
       // Keep at most kBroadcastQueueDepth broadcast frames waiting (plus one
       // on the air): under congestion the oldest state datagrams are
       // superseded, while at low load back-to-back states still all go out.
@@ -103,8 +118,7 @@ void Medium::send_broadcast(ProcessId src, Bytes payload, bool replace_queued) {
                              .category = trace::Category::kMedium,
                              .kind = trace::Kind::kFrameSuperseded,
                              .process = src, .frame = qit->trace_id,
-                             .bytes = static_cast<std::uint32_t>(
-                                 qit->payload.size()));
+                             .bytes = static_cast<std::uint32_t>(qit->size()));
             node.queue.erase(qit);
             --queued;
             break;
@@ -123,14 +137,15 @@ void Medium::send_unicast(ProcessId src, ProcessId dst, Bytes payload,
   TURQ_ASSERT_MSG(payload.size() <= config_.max_frame_bytes,
                   "frame exceeds MSDU limit; fragment at a higher layer");
   TURQ_ASSERT_MSG(dst != kBroadcastDst, "invalid unicast destination");
-  enqueue(Frame{.src = src, .dst = dst, .payload = std::move(payload),
+  enqueue(Frame{.src = src, .dst = dst,
+                .payload = std::make_shared<const Bytes>(std::move(payload)),
                 .retries = 0, .cw = config_.cw_min,
                 .on_result = std::move(on_result), .trace_id = 0});
 }
 
 void Medium::enqueue(Frame frame) {
-  const auto it = nodes_.find(frame.src);
-  if (it == nodes_.end()) return;  // detached (crashed) senders go silent
+  NodeState* node = node_of(frame.src);
+  if (node == nullptr) return;  // detached (crashed) senders go silent
   frame.trace_id = ++next_trace_id_;
   TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
                    .kind = trace::Kind::kFrameEnqueue, .process = frame.src,
@@ -138,13 +153,14 @@ void Medium::enqueue(Frame frame) {
                                 ? -1
                                 : static_cast<std::int64_t>(frame.dst),
                    .frame = frame.trace_id,
-                   .bytes = static_cast<std::uint32_t>(frame.payload.size()));
-  it->second.queue.push_back(std::move(frame));
-  add_contender(it->first);
+                   .bytes = static_cast<std::uint32_t>(frame.size()));
+  const ProcessId src = frame.src;
+  node->queue.push_back(std::move(frame));
+  add_contender(src);
 }
 
 void Medium::add_contender(ProcessId id) {
-  NodeState& node = nodes_.at(id);
+  NodeState& node = nodes_[id];
   if (node.contending || node.queue.empty()) return;
   node.contending = true;
   contenders_.push_back(id);
@@ -176,7 +192,7 @@ void Medium::resolve_contention() {
   std::vector<std::pair<ProcessId, std::uint32_t>> draws;
   draws.reserve(contenders_.size());
   for (const ProcessId id : contenders_) {
-    const NodeState& node = nodes_.at(id);
+    const NodeState& node = nodes_[id];
     TURQ_ASSERT(!node.queue.empty());
     const std::uint32_t cw = node.queue.front().cw;
     const auto slot = static_cast<std::uint32_t>(rng_.uniform(cw + 1));
@@ -198,7 +214,7 @@ void Medium::resolve_contention() {
     return std::find(winners.begin(), winners.end(), id) != winners.end();
   });
   for (const ProcessId id : winners) {
-    NodeState& node = nodes_.at(id);
+    NodeState& node = nodes_[id];
     node.contending = false;
     node.transmitting = true;
   }
@@ -208,9 +224,9 @@ void Medium::resolve_contention() {
 
   if (winners.size() == 1) {
     const ProcessId winner = winners.front();
-    const Frame& frame = nodes_.at(winner).queue.front();
+    const Frame& frame = nodes_[winner].queue.front();
     const SimDuration air = airtime_of(frame);
-    ctr_.bytes_on_air->add(frame.payload.size() + config_.mac_overhead_bytes);
+    ctr_.bytes_on_air->add(frame.size() + config_.mac_overhead_bytes);
     ctr_.airtime_ns->add(static_cast<std::uint64_t>(air));
     if (trace::active()) {
       ctr_.frame_airtime_us->observe(static_cast<double>(air) / 1000.0);
@@ -220,7 +236,7 @@ void Medium::resolve_contention() {
                      .phase = frame.is_broadcast() ? 1u : 0u,
                      .value = static_cast<std::int64_t>(air),
                      .frame = frame.trace_id,
-                     .bytes = static_cast<std::uint32_t>(frame.payload.size()));
+                     .bytes = static_cast<std::uint32_t>(frame.size()));
     busy_until_ = start + air;
     sim_.schedule_at(busy_until_, [this, winner] { finish_single(winner); });
   } else {
@@ -228,9 +244,9 @@ void Medium::resolve_contention() {
     ctr_.collisions->add();
     SimDuration longest = 0;
     for (const ProcessId id : winners) {
-      const Frame& frame = nodes_.at(id).queue.front();
+      const Frame& frame = nodes_[id].queue.front();
       const SimDuration air = airtime_of(frame);
-      ctr_.bytes_on_air->add(frame.payload.size() + config_.mac_overhead_bytes);
+      ctr_.bytes_on_air->add(frame.size() + config_.mac_overhead_bytes);
       if (trace::active()) {
         ctr_.frame_airtime_us->observe(static_cast<double>(air) / 1000.0);
       }
@@ -239,8 +255,7 @@ void Medium::resolve_contention() {
                        .phase = frame.is_broadcast() ? 1u : 0u,
                        .value = static_cast<std::int64_t>(air),
                        .frame = frame.trace_id,
-                       .bytes =
-                           static_cast<std::uint32_t>(frame.payload.size()));
+                       .bytes = static_cast<std::uint32_t>(frame.size()));
       longest = std::max(longest, air);
       ctr_.frames_collided->add();
     }
@@ -253,10 +268,14 @@ void Medium::resolve_contention() {
 }
 
 void Medium::deliver(const Frame& frame) {
-  for (auto& [id, node] : nodes_) {
+  // Index order over the flat vector matches the old map's key order, so
+  // receiver-side RNG consumption (fault draws) is unchanged.
+  for (ProcessId id = 0; id < nodes_.size(); ++id) {
+    NodeState& node = nodes_[id];
+    if (!node.attached) continue;
     if (id == frame.src) continue;
     if (!frame.is_broadcast() && id != frame.dst) continue;
-    if (faults_->drop(frame.src, id, sim_.now(), frame.payload.size())) {
+    if (faults_->drop(frame.src, id, sim_.now(), frame.size())) {
       ctr_.omissions->add();
       TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
                        .kind = trace::Kind::kFrameOmitted, .process = frame.src,
@@ -269,21 +288,22 @@ void Medium::deliver(const Frame& frame) {
                      .kind = trace::Kind::kFrameDelivered, .process = frame.src,
                      .value = static_cast<std::int64_t>(id),
                      .frame = frame.trace_id,
-                     .bytes = static_cast<std::uint32_t>(frame.payload.size()));
-    // Copy the payload per receiver; handlers run as fresh events so a
-    // handler enqueueing new frames sees a consistent medium state.
+                     .bytes = static_cast<std::uint32_t>(frame.size()));
+    // Every receiver shares the one immutable payload; handlers run as
+    // fresh events so a handler enqueueing new frames sees a consistent
+    // medium state.
     sim_.schedule_at(sim_.now(),
                      [handler = node.handler, src = frame.src,
                       payload = frame.payload, bc = frame.is_broadcast()] {
-                       handler(src, payload, bc);
+                       (*handler)(src, *payload, bc);
                      });
   }
 }
 
 void Medium::finish_single(ProcessId winner) {
-  const auto it = nodes_.find(winner);
-  if (it == nodes_.end()) return;  // sender crashed mid-air; frame evaporates
-  NodeState& node = it->second;
+  NodeState* sender = node_of(winner);
+  if (sender == nullptr) return;  // sender crashed mid-air; frame evaporates
+  NodeState& node = *sender;
   TURQ_ASSERT(!node.queue.empty());
   Frame& frame = node.queue.front();
 
@@ -297,10 +317,10 @@ void Medium::finish_single(ProcessId winner) {
   ctr_.unicast_frames->add();
   // The data frame is subject to injected omission at the destination; the
   // MAC ACK can also be lost on the way back.
-  const auto dst_it = nodes_.find(frame.dst);
+  NodeState* dst = node_of(frame.dst);
   const bool data_ok =
-      dst_it != nodes_.end() &&
-      !faults_->drop(frame.src, frame.dst, sim_.now(), frame.payload.size());
+      dst != nullptr &&
+      !faults_->drop(frame.src, frame.dst, sim_.now(), frame.size());
 
   if (data_ok) {
     ctr_.deliveries->add();
@@ -308,11 +328,13 @@ void Medium::finish_single(ProcessId winner) {
                      .kind = trace::Kind::kFrameDelivered, .process = frame.src,
                      .value = static_cast<std::int64_t>(frame.dst),
                      .frame = frame.trace_id,
-                     .bytes = static_cast<std::uint32_t>(frame.payload.size()));
+                     .bytes = static_cast<std::uint32_t>(frame.size()));
     sim_.schedule_at(sim_.now(),
-                     [handler = dst_it->second.handler, src = frame.src,
-                      payload = frame.payload] { handler(src, payload, false); });
-  } else if (dst_it != nodes_.end()) {
+                     [handler = dst->handler, src = frame.src,
+                      payload = frame.payload] {
+                       (*handler)(src, *payload, false);
+                     });
+  } else if (dst != nullptr) {
     ctr_.omissions->add();
     TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
                      .kind = trace::Kind::kFrameOmitted, .process = frame.src,
@@ -340,10 +362,10 @@ void Medium::finish_single(ProcessId winner) {
 
 void Medium::finish_collision(std::vector<ProcessId> winners) {
   for (const ProcessId id : winners) {
-    const auto it = nodes_.find(id);
-    if (it == nodes_.end()) continue;
-    TURQ_ASSERT(!it->second.queue.empty());
-    Frame& frame = it->second.queue.front();
+    NodeState* node = node_of(id);
+    if (node == nullptr) continue;
+    TURQ_ASSERT(!node->queue.empty());
+    Frame& frame = node->queue.front();
     TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
                      .kind = trace::Kind::kFrameCollided, .process = id,
                      .frame = frame.trace_id);
@@ -360,7 +382,7 @@ void Medium::finish_collision(std::vector<ProcessId> winners) {
 }
 
 void Medium::complete_frame(ProcessId id, bool delivered) {
-  NodeState& node = nodes_.at(id);
+  NodeState& node = nodes_[id];
   node.transmitting = false;
   Frame frame = std::move(node.queue.front());
   node.queue.pop_front();
@@ -370,7 +392,7 @@ void Medium::complete_frame(ProcessId id, bool delivered) {
 }
 
 void Medium::retry_or_drop(ProcessId id) {
-  NodeState& node = nodes_.at(id);
+  NodeState& node = nodes_[id];
   node.transmitting = false;
   Frame& frame = node.queue.front();
   if (frame.retries >= config_.retry_limit) {

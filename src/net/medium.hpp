@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -70,8 +70,15 @@ struct MediumStats {
 class Medium {
  public:
   /// Called on frame delivery: source, payload, whether it was broadcast.
+  /// The view is valid only for the duration of the call; receivers that
+  /// keep the data copy what they need (usually a decoded message).
   using ReceiveHandler =
-      std::function<void(ProcessId src, const Bytes& payload, bool broadcast)>;
+      std::function<void(ProcessId src, BytesView payload, bool broadcast)>;
+
+  /// One immutable frame payload shared by the sender's queue and every
+  /// receiver's delivery event — a broadcast costs one allocation total
+  /// instead of one deep copy per receiver.
+  using FramePayload = std::shared_ptr<const Bytes>;
 
   /// Called when a unicast send completes: true = MAC-acknowledged,
   /// false = dropped after the retry limit.
@@ -95,6 +102,10 @@ class Medium {
   /// state datagram is stale the moment a newer one exists, and this is
   /// what keeps queues bounded when the channel saturates.
   void send_broadcast(ProcessId src, Bytes payload, bool replace_queued = true);
+  /// As above, with a payload the caller already shares (e.g. a loopback
+  /// copy of the same datagram): no further payload allocation happens.
+  void send_broadcast(ProcessId src, FramePayload payload,
+                      bool replace_queued = true);
 
   /// Queues a unicast frame with MAC ACK/retry semantics.
   void send_unicast(ProcessId src, ProcessId dst, Bytes payload,
@@ -119,13 +130,14 @@ class Medium {
   struct Frame {
     ProcessId src = kInvalidProcess;
     ProcessId dst = kBroadcastDst;
-    Bytes payload;
+    FramePayload payload;
     std::uint32_t retries = 0;
     std::uint32_t cw = 0;
     SendResult on_result;
     std::uint64_t trace_id = 0;  // per-medium frame id for event correlation
 
     [[nodiscard]] bool is_broadcast() const { return dst == kBroadcastDst; }
+    [[nodiscard]] std::size_t size() const { return payload->size(); }
   };
 
   /// Counters resolved once against metrics_ (stable map-node addresses).
@@ -144,12 +156,24 @@ class Medium {
     trace::Histogram* frame_airtime_us = nullptr;
   };
 
+  /// Per-node state, held in a flat vector indexed by ProcessId (ids are
+  /// dense 0..n-1). The handler is refcounted so delivery events scheduled
+  /// before a detach still fire against the original callable, exactly as
+  /// the previous by-value handler copies behaved.
   struct NodeState {
-    ReceiveHandler handler;
+    std::shared_ptr<const ReceiveHandler> handler;
     std::deque<Frame> queue;
+    bool attached = false;
     bool contending = false;
     bool transmitting = false;  // queue.front() is on the air
   };
+
+  /// The node's state, or nullptr when `id` was never or is no longer
+  /// attached (the flat-vector analogue of map.find() == end()).
+  [[nodiscard]] NodeState* node_of(ProcessId id) {
+    if (id >= nodes_.size() || !nodes_[id].attached) return nullptr;
+    return &nodes_[id];
+  }
 
   void enqueue(Frame frame);
   void add_contender(ProcessId id);
@@ -168,7 +192,7 @@ class Medium {
   Rng rng_;
   NoFaults no_faults_;
   FaultInjector* faults_ = &no_faults_;
-  std::map<ProcessId, NodeState> nodes_;
+  std::vector<NodeState> nodes_;
   std::vector<ProcessId> contenders_;
   bool resolution_pending_ = false;
   SimTime busy_until_ = 0;

@@ -27,7 +27,7 @@ TcpHost::TcpHost(sim::Simulator& simulator, Medium& medium, ProcessId self,
   ctr_.rto_fires = &metrics_.counter("tcp.rto_fires");
   ctr_.fast_retransmits = &metrics_.counter("tcp.fast_retransmits");
   ctr_.auth_failures = &metrics_.counter("tcp.auth_failures");
-  medium_.attach(self_, [this](ProcessId src, const Bytes& frame, bool bc) {
+  medium_.attach(self_, [this](ProcessId src, BytesView frame, bool bc) {
     if (!open_ || bc) return;
     on_frame(src, frame);
   });
@@ -69,7 +69,9 @@ TcpHost::Connection& TcpHost::conn(ProcessId peer) {
 }
 
 void TcpHost::set_peer_key(ProcessId peer, Bytes key) {
-  conn(peer).key = std::move(key);
+  Connection& c = conn(peer);
+  c.key = std::move(key);
+  c.hmac = crypto::HmacKey(c.key);
 }
 
 void TcpHost::charge_auth(std::size_t bytes) {
@@ -139,12 +141,15 @@ Bytes TcpHost::encode_segment(Connection& c, std::uint8_t type,
                               std::uint32_t seq, std::uint32_t ack,
                               BytesView payload) const {
   Writer w;
+  w.reserve(1 + 4 + 4 + 4 + payload.size() +
+            (config_.authenticate ? crypto::kSha256DigestSize : 0) +
+            config_.tcp_ip_overhead);
   w.u8(type);
   w.u32(seq);
   w.u32(ack);
   w.bytes(payload);
   if (config_.authenticate) {
-    const crypto::Digest mac = crypto::hmac_sha256(c.key, w.data());
+    const crypto::Digest mac = c.hmac.mac(w.data());
     w.raw(BytesView(mac.data(), mac.size()));
   }
   // Model TCP/IP header bytes as tail padding (receivers strip by parsing).
@@ -238,7 +243,7 @@ void TcpHost::on_rto(ProcessId peer) {
   transmit_segment(peer, c.in_flight.begin()->first, /*retransmit=*/true);
 }
 
-void TcpHost::on_frame(ProcessId src, const Bytes& frame) {
+void TcpHost::on_frame(ProcessId src, BytesView frame) {
   Connection& c = conn(src);
   // Parse header; trailing TCP/IP padding is ignored by construction.
   Reader r(frame);
@@ -254,13 +259,14 @@ void TcpHost::on_frame(ProcessId src, const Bytes& frame) {
     charge_auth(payload->size());
     // Recompute over the authenticated prefix.
     Writer w;
+    w.reserve(1 + 4 + 4 + 4 + payload->size());
     w.u8(*type);
     w.u32(*seq);
     w.u32(*ack);
     w.bytes(*payload);
     crypto::Digest mac;
     std::copy(mac_bytes->begin(), mac_bytes->end(), mac.begin());
-    if (!crypto::hmac_verify(c.key, w.data(), mac)) {
+    if (!c.hmac.verify(w.data(), mac)) {
       ctr_.auth_failures->add();
       return;
     }

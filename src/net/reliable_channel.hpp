@@ -142,6 +142,9 @@ class TcpHost {
     sim::EventId ack_timer = sim::kInvalidEvent;
     // --- auth ---
     Bytes key;
+    // Pads pre-absorbed once per set_peer_key(); initialized to the empty
+    // key so a keyless authenticated connection MACs exactly as before.
+    crypto::HmacKey hmac{BytesView{}};
   };
 
   Connection& conn(ProcessId peer);
@@ -152,7 +155,7 @@ class TcpHost {
   void note_ack_owed(ProcessId peer, bool urgent);
   void arm_rto(ProcessId peer);
   void on_rto(ProcessId peer);
-  void on_frame(ProcessId src, const Bytes& frame);
+  void on_frame(ProcessId src, BytesView frame);
   void on_data(ProcessId src, std::uint32_t seq, Bytes payload);
   void on_ack(ProcessId src, std::uint32_t ack, bool pure_ack);
   void extract_messages(ProcessId src, Connection& c);

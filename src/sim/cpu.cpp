@@ -8,7 +8,7 @@ namespace turq::sim {
 
 SimTime VirtualCpu::free_at() const { return std::max(busy_until_, sim_.now()); }
 
-void VirtualCpu::execute(SimDuration duration, std::function<void()> done) {
+void VirtualCpu::execute(SimDuration duration, Simulator::Callback done) {
   TURQ_ASSERT(duration >= 0);
   const SimTime start = free_at();
   busy_until_ = start + duration;

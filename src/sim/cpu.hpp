@@ -7,8 +7,6 @@
 // in wall-clock terms.
 #pragma once
 
-#include <functional>
-
 #include "common/types.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,7 +18,7 @@ class VirtualCpu {
 
   /// Charges `duration` of compute and invokes `done` when it completes.
   /// Work is serialized: it starts when all previously submitted work ends.
-  void execute(SimDuration duration, std::function<void()> done);
+  void execute(SimDuration duration, Simulator::Callback done);
 
   /// Charges `duration` with no completion callback (accounting only).
   void charge(SimDuration duration);

@@ -1,51 +1,100 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 #include "trace/trace.hpp"
 
 namespace turq::sim {
 
-EventId Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  TURQ_ASSERT_MSG(slots_.size() < kNoSlot, "event arena exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.live = false;
+  if (++s.gen == 0) s.gen = 1;  // ids must never equal kInvalidEvent
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+bool Simulator::is_live(EventId id) const {
+  const std::uint32_t slot = id_slot(id);
+  return slot < slots_.size() && slots_[slot].live &&
+         slots_[slot].gen == id_gen(id);
+}
+
+EventId Simulator::schedule(SimDuration delay, Callback fn) {
   TURQ_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+EventId Simulator::schedule_at(SimTime at, Callback fn) {
   TURQ_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-  const EventId id = next_id_++;
-  handlers_.emplace(id, std::move(fn));
-  queue_.push(QueueEntry{.at = at, .id = id});
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  const EventId id = make_id(s.gen, slot);
+  heap_.push_back(QueueEntry{.at = at, .seq = ++seq_, .id = id});
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
   ++pending_;
   return id;
 }
 
 void Simulator::cancel(EventId id) {
-  const auto it = handlers_.find(id);
-  if (it == handlers_.end()) return;
-  handlers_.erase(it);
+  if (!is_live(id)) return;  // already ran, cancelled, or stale generation
+  release_slot(id_slot(id));
   --pending_;
-  // The queue entry stays; execute_next() skips ids with no handler.
+  ++dead_;
+  // The heap entry stays behind as a tombstone (skipped on pop by the
+  // generation check). Compact once tombstones outnumber live entries so
+  // cancel-heavy workloads (e.g. per-tick timer rearming) cannot grow the
+  // heap beyond 2x the pending count.
+  if (dead_ > pending_ && dead_ > 1) compact();
+}
+
+void Simulator::compact() {
+  std::erase_if(heap_, [this](const QueueEntry& e) { return !is_live(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  dead_ = 0;
 }
 
 bool Simulator::execute_next() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    queue_.pop();
-    const auto it = handlers_.find(entry.id);
-    if (it == handlers_.end()) continue;  // cancelled
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
+  while (!heap_.empty()) {
+    const QueueEntry entry = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+    if (!is_live(entry.id)) {  // tombstone from a cancel
+      --dead_;
+      continue;
+    }
+    // Move the callback out and recycle the slot before invoking: the
+    // callback may itself schedule events into the slot just released.
+    Callback fn = std::move(slots_[id_slot(entry.id)].fn);
+    release_slot(id_slot(entry.id));
     --pending_;
     now_ = entry.at;
     ++executed_;
 #if TURQ_TRACE_ENABLED
     // Per-dispatch events are voluminous; they are only recorded when the
-    // installed tracer asked for them.
+    // installed tracer asked for them. The insertion sequence is the
+    // stable per-event identifier (arena slot ids are recycled).
     if (trace::Tracer* t = trace::current(); t && t->options().sim_events) {
       t->emit(trace::TraceEvent{.at = now_,
                                 .category = trace::Category::kSim,
                                 .kind = trace::Kind::kSimEvent,
-                                .value = static_cast<std::int64_t>(entry.id)});
+                                .value = static_cast<std::int64_t>(entry.seq)});
     }
 #endif
     fn();
@@ -58,11 +107,13 @@ std::size_t Simulator::run_until(SimTime deadline) {
   std::size_t count = 0;
   stopped_ = false;
   bool ran_dry = true;  // exited because no event at or before the deadline
-  while (!stopped_ && !queue_.empty()) {
+  while (!stopped_ && !heap_.empty()) {
     // Peek: do not execute events past the deadline.
-    const QueueEntry entry = queue_.top();
-    if (handlers_.find(entry.id) == handlers_.end()) {
-      queue_.pop();
+    const QueueEntry entry = heap_.front();
+    if (!is_live(entry.id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+      heap_.pop_back();
+      --dead_;
       continue;
     }
     if (entry.at > deadline) break;

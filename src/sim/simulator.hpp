@@ -3,25 +3,39 @@
 // Single-threaded virtual-time event loop: events execute in (time, insertion
 // sequence) order, so runs are exactly reproducible. All protocol stacks,
 // the radio medium, and the virtual CPUs schedule through this class.
+//
+// Storage is a pooled event-slot arena: each pending event lives in a
+// recycled Slot (callback + generation tag), addressed by a free-list.
+// EventId packs (generation << 32) | slot, so cancel() is an O(1) array
+// probe — a stale id simply fails the generation check — instead of a hash
+// map erase. The ready queue is a binary heap of (time, seq) keys over slot
+// ids; cancelled entries become tombstones that are skipped on pop and
+// compacted away whenever they outnumber the live entries, which bounds the
+// queue at 2x the pending-event count. In steady state (slots and heap
+// capacity warmed up, captures within InlineFunction's inline buffer)
+// schedule/cancel/execute perform zero heap allocations.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/inline_function.hpp"
 #include "common/types.hpp"
 
 namespace turq::sim {
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event: (generation << 32) | slot.
+/// Generations start at 1, so no valid handle equals kInvalidEvent.
 using EventId = std::uint64_t;
 
 constexpr EventId kInvalidEvent = 0;
 
 class Simulator {
  public:
+  /// Event callback. Move-only; captures up to InlineFunction::kInlineSize
+  /// bytes are stored without heap allocation.
+  using Callback = InlineFunction;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -30,12 +44,13 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run `delay` from now. Returns a cancellable handle.
-  EventId schedule(SimDuration delay, std::function<void()> fn);
+  EventId schedule(SimDuration delay, Callback fn);
 
   /// Schedules `fn` at absolute time `at` (must be >= now()).
-  EventId schedule_at(SimTime at, std::function<void()> fn);
+  EventId schedule_at(SimTime at, Callback fn);
 
-  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  /// Cancels a pending event; no-op if it already ran or was cancelled
+  /// (the generation tag in the id rejects stale handles).
   void cancel(EventId id);
 
   /// Runs events until the queue is empty or `deadline` is passed.
@@ -49,27 +64,72 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   [[nodiscard]] bool idle() const { return pending_ == 0; }
+
+  /// Live (not cancelled, not yet executed) events.
+  [[nodiscard]] std::size_t pending() const { return pending_; }
   [[nodiscard]] std::size_t events_executed() const { return executed_; }
 
+  /// Number of heap entries currently held, live + tombstones. Compaction
+  /// keeps this <= 2 * pending events + 1 (observable in tests).
+  [[nodiscard]] std::size_t queue_entries() const { return heap_.size(); }
+  /// Cancelled entries still awaiting skip-on-pop or compaction.
+  [[nodiscard]] std::size_t queue_tombstones() const { return dead_; }
+  /// Slots in the arena (high-water mark of concurrently pending events).
+  [[nodiscard]] std::size_t arena_slots() const { return slots_.size(); }
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffff'ffffu;
+
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 1;        // bumped on every release; never 0
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
   struct QueueEntry {
     SimTime at;
+    std::uint64_t seq;  // insertion order: FIFO among simultaneous events
     EventId id;
-    bool operator>(const QueueEntry& other) const {
-      if (at != other.at) return at > other.at;
-      return id > other.id;  // FIFO among simultaneous events
+  };
+
+  /// Min-heap comparator (std::push_heap builds a max-heap, so "greater").
+  struct EntryAfter {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
+
+  static constexpr EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+  static constexpr std::uint32_t id_slot(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+  static constexpr std::uint32_t id_gen(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// True when `id` names the live event its generation was minted for.
+  [[nodiscard]] bool is_live(EventId id) const;
+  /// Drops every tombstone from the heap and restores the heap property.
+  /// Safe because pop order is a strict total order on (at, seq).
+  void compact();
 
   bool execute_next();  // returns false when queue is empty
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t seq_ = 0;  // pre-incremented: first event gets seq 1
   std::size_t pending_ = 0;
   std::size_t executed_ = 0;
+  std::size_t dead_ = 0;  // tombstones currently in heap_
   bool stopped_ = false;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<Slot> slots_;
+  std::vector<QueueEntry> heap_;
 };
 
 }  // namespace turq::sim

@@ -44,6 +44,9 @@ std::optional<Message> Message::decode_core(Reader& r) {
 
 Bytes Datagram::encode() const {
   Writer w;
+  std::size_t total = 1 + 2 + main.encoded_core_size();
+  for (const Message& m : justification) total += m.encoded_core_size();
+  w.reserve(total);
   w.u8(kDatagramTag);
   main.encode_core(w);
   w.u16(static_cast<std::uint16_t>(justification.size()));

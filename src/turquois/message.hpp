@@ -32,6 +32,11 @@ struct Message {
   /// Serializes the core fields (no justification) — the unit attached as
   /// justification inside other messages.
   void encode_core(Writer& w) const;
+
+  /// Exact number of bytes encode_core() appends.
+  [[nodiscard]] std::size_t encoded_core_size() const {
+    return 4 + 4 + 1 + 1 + 1 + 4 + auth_sk.size();
+  }
   static std::optional<Message> decode_core(Reader& r);
 
   /// Identity for deduplication in V: one message per (sender, phase).

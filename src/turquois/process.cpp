@@ -25,7 +25,7 @@ Process::Process(sim::Simulator& simulator, net::BroadcastEndpoint& endpoint,
       rng_(rng),
       costs_(costs) {
   claimed_.resize(cfg_.n, 0);
-  endpoint_.set_handler([this](ProcessId src, const Bytes& payload) {
+  endpoint_.set_handler([this](ProcessId src, BytesView payload) {
     on_datagram(src, payload);
   });
 }
@@ -224,10 +224,11 @@ void Process::append_quorum(std::vector<Message>& out, Phase phase,
 
 // ---------------------------------------------------------------- task T2 --
 
-void Process::on_datagram(ProcessId src, const Bytes& payload) {
+void Process::on_datagram(ProcessId src, BytesView payload) {
   if (halted_) return;
   if (!running_) {
-    prestart_.emplace_back(src, payload);  // OS buffer until propose()
+    // OS buffer until propose(); the view dies with this call, so copy.
+    prestart_.emplace_back(src, Bytes(payload.begin(), payload.end()));
     return;
   }
   auto datagram = Datagram::decode(payload);
@@ -277,7 +278,7 @@ void Process::ingest(const Message& m) {
       std::any_of(pending_.begin(), pending_.end(),
                   [&](const Message& p) { return p == m; });
   if (already_pending) return;
-  if (!authentic(keys_, cfg_, m)) {
+  if (!verify_memo_.check(keys_, cfg_, m)) {
     ++stats_.auth_failures;
     return;
   }

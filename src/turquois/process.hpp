@@ -90,7 +90,7 @@ class Process {
   void schedule_tick();
 
   // T2.
-  void on_datagram(ProcessId src, const Bytes& payload);
+  void on_datagram(ProcessId src, BytesView payload);
   void ingest(const Message& m);          // authenticate + stage as pending
   bool drain_pending();                   // fixpoint; true if V grew
   bool apply_decision_certificates();     // collective quorum acceptance
@@ -126,6 +126,7 @@ class Process {
   std::vector<Message> pending_;            // authentic, not yet semantically valid
   std::vector<Phase> claimed_;              // per-sender max authentic phase
   CorroborationIndex corroboration_;        // senders per (phase, value)
+  VerifyMemo verify_memo_;                  // collapses repeat ots_verify calls
   std::optional<Message> jump_source_;      // justification for a jumped phase
   bool running_ = false;
   bool halted_ = false;

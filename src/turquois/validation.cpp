@@ -9,6 +9,27 @@ bool authentic(const KeyInfrastructure& keys, const Config& cfg,
                             m.auth_sk);
 }
 
+bool VerifyMemo::check(const KeyInfrastructure& keys, const Config& cfg,
+                       const Message& m) {
+  if (m.sender >= cfg.n) return false;
+  // sender < n <= 2^8 here and value is a byte, so the packed key is
+  // collision-free for any 32-bit phase.
+  const std::uint64_t key = (static_cast<std::uint64_t>(m.phase) << 16) |
+                            (static_cast<std::uint64_t>(m.sender) << 8) |
+                            static_cast<std::uint64_t>(m.value);
+  std::vector<Entry>& entries = cache_[key];
+  for (const Entry& e : entries) {
+    if (e.sk == m.auth_sk) {
+      ++hits_;
+      return e.ok;
+    }
+  }
+  ++misses_;
+  const bool ok = authentic(keys, cfg, m);
+  if (entries.size() < kMaxEntriesPerKey) entries.push_back({m.auth_sk, ok});
+  return ok;
+}
+
 Phase SemanticValidator::highest_lock_phase_below(Phase phase) {
   if (phase <= 2) return 0;
   switch (phase % 3) {

@@ -12,6 +12,7 @@
 // when V grows.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "turquois/config.hpp"
@@ -24,6 +25,38 @@ namespace turq::turquois {
 /// Stateless authenticity check against the key infrastructure.
 bool authentic(const KeyInfrastructure& keys, const Config& cfg,
                const Message& m);
+
+/// Per-process memo over authentic(): ots_verify is a pure function of
+/// (sender, phase, value, revealed key) for a fixed key infrastructure, so
+/// the n-fold re-hash of an identical broadcast — and every retransmission
+/// tick repeating it — collapses to one hash. Results are cached for
+/// rejections too (a wrong key stays wrong), so auth_failure counters are
+/// unchanged. This is a wall-clock optimization only: the *virtual* cost
+/// model keeps charging every verification (see Process::on_datagram),
+/// matching a real deployment where each receiver hashes independently.
+class VerifyMemo {
+ public:
+  /// Same result as authentic(keys, cfg, m), memoized.
+  bool check(const KeyInfrastructure& keys, const Config& cfg,
+             const Message& m);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  /// Distinct revealed keys per (sender, phase, value) are capped; beyond
+  /// that (a Byzantine key-grinding flood) we verify without memoizing.
+  static constexpr std::size_t kMaxEntriesPerKey = 8;
+
+  struct Entry {
+    Bytes sk;
+    bool ok;
+  };
+
+  std::unordered_map<std::uint64_t, std::vector<Entry>> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 /// Distinct authentic senders seen per (phase, value), as a sender bitmask
 /// (deployments here have n <= 64). Maintained by the process across both

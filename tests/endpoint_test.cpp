@@ -19,11 +19,11 @@ TEST(BroadcastEndpoint, LoopbackAndAirDelivery) {
   net::BroadcastEndpoint a(sim, medium, 0);
   net::BroadcastEndpoint b(sim, medium, 1);
   int a_got = 0, b_got = 0;
-  a.set_handler([&](ProcessId src, const Bytes&) {
+  a.set_handler([&](ProcessId src, BytesView) {
     EXPECT_EQ(src, 0u);  // loopback carries the sender's own id
     ++a_got;
   });
-  b.set_handler([&](ProcessId src, const Bytes&) {
+  b.set_handler([&](ProcessId src, BytesView) {
     EXPECT_EQ(src, 0u);
     ++b_got;
   });
@@ -46,7 +46,7 @@ TEST(BroadcastEndpoint, PayloadSurvivesHeaderModeling) {
     payload[i] = static_cast<std::uint8_t>(i * 7);
   }
   Bytes received;
-  b.set_handler([&](ProcessId, const Bytes& p) { received = p; });
+  b.set_handler([&](ProcessId, BytesView p) { received = Bytes(p.begin(), p.end()); });
   a.send(payload);
   sim.run();
   EXPECT_EQ(received, payload);
@@ -58,7 +58,7 @@ TEST(BroadcastEndpoint, ClosedEndpointIsSilent) {
   net::BroadcastEndpoint a(sim, medium, 0);
   net::BroadcastEndpoint b(sim, medium, 1);
   int b_got = 0;
-  b.set_handler([&](ProcessId, const Bytes&) { ++b_got; });
+  b.set_handler([&](ProcessId, BytesView) { ++b_got; });
   b.close();
   a.send(Bytes(5, 1));
   sim.run();
@@ -78,7 +78,7 @@ TEST(BroadcastEndpoint, ReattachAfterCloseUnderSameId) {
   net::BroadcastEndpoint second(sim, medium, 0);
   net::BroadcastEndpoint peer(sim, medium, 1);
   int got = 0;
-  peer.set_handler([&](ProcessId, const Bytes&) { ++got; });
+  peer.set_handler([&](ProcessId, BytesView) { ++got; });
   second.send(Bytes(3, 9));
   sim.run();
   EXPECT_EQ(got, 1);

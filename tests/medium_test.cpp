@@ -21,8 +21,8 @@ struct Rig {
       : medium(sim, cfg, Rng(seed)) {}
 
   void attach(ProcessId id) {
-    medium.attach(id, [this, id](ProcessId src, const Bytes& payload, bool) {
-      received[id].emplace_back(src, payload);
+    medium.attach(id, [this, id](ProcessId src, BytesView payload, bool) {
+      received[id].emplace_back(src, Bytes(payload.begin(), payload.end()));
     });
   }
 };

@@ -124,7 +124,7 @@ TEST_P(MediumConservation, DeliveriesPlusOmissionsMatchExpectations) {
   constexpr std::uint32_t kNodes = 6;
   std::uint64_t received = 0;
   for (ProcessId id = 0; id < kNodes; ++id) {
-    medium.attach(id, [&received](ProcessId, const Bytes&, bool) { ++received; });
+    medium.attach(id, [&received](ProcessId, BytesView, bool) { ++received; });
   }
   net::IidLoss loss(0.3, Rng(GetParam() + 1));
   medium.set_fault_injector(&loss);

@@ -102,6 +102,109 @@ TEST(Simulator, ScheduleAtAbsoluteTime) {
   EXPECT_EQ(observed, 12345);
 }
 
+TEST(Simulator, CancelRescheduleReuseIsDeterministic) {
+  // Two simulators driven through the same cancel/reschedule mix must
+  // produce the same execution order and the same clock — slot reuse and
+  // tombstones are invisible to the schedule semantics.
+  const auto drive = [](Simulator& sim) {
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(sim.schedule(10 + 5 * i, [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 0; i < 64; i += 3) sim.cancel(ids[i]);  // every third dies
+    for (int i = 0; i < 32; ++i) {
+      // Reschedules land on freed slots; same virtual times as a cancelled
+      // batch so ordering falls back to insertion sequence.
+      sim.schedule(10 + 15 * i, [&order, i] { order.push_back(1000 + i); });
+    }
+    sim.run();
+    order.push_back(static_cast<int>(sim.now()));
+    return order;
+  };
+  Simulator a;
+  Simulator b;
+  EXPECT_EQ(drive(a), drive(b));
+}
+
+TEST(Simulator, FifoPreservedAcrossSlotReuse) {
+  // Simultaneous events stay FIFO in schedule order even when their slots
+  // were recycled from cancelled events in a different order.
+  Simulator sim;
+  std::vector<EventId> victims;
+  for (int i = 0; i < 8; ++i) victims.push_back(sim.schedule(500, [] {}));
+  for (int i = 7; i >= 0; --i) sim.cancel(victims[i]);  // free in reverse
+
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Simulator, StaleEventIdIsRejectedAfterSlotReuse) {
+  Simulator sim;
+  bool survivor_ran = false;
+  const EventId old_id = sim.schedule(10, [] {});
+  sim.cancel(old_id);
+  // The freed slot is recycled for the next event with a bumped generation.
+  const EventId new_id = sim.schedule(20, [&] { survivor_ran = true; });
+  ASSERT_NE(old_id, new_id);
+
+  sim.cancel(old_id);  // stale generation: must NOT kill the new event
+  sim.run();
+  EXPECT_TRUE(survivor_ran);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, ExecutedEventIdDoesNotCancelSlotSuccessor) {
+  Simulator sim;
+  const EventId first = sim.schedule(10, [] {});
+  sim.run_until(10);  // executes and frees the slot
+  bool ran = false;
+  sim.schedule(20, [&] { ran = true; });
+  sim.cancel(first);  // handle of the already-run event, slot now reused
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelHeavyLoadKeepsQueueBounded) {
+  // Tombstone compaction: dead entries may never exceed live ones, so the
+  // heap holds at most 2 * pending + 1 entries no matter how many events
+  // are cancelled (the old implementation leaked tombstones until pop).
+  Simulator sim;
+  std::vector<EventId> batch;
+  for (int round = 0; round < 200; ++round) {
+    batch.clear();
+    for (int i = 0; i < 50; ++i) {
+      batch.push_back(sim.schedule(1000000 + round, [] {}));
+    }
+    for (int i = 0; i < 49; ++i) sim.cancel(batch[i]);  // keep one per round
+    EXPECT_LE(sim.queue_entries(), 2 * sim.pending() + 1)
+        << "round " << round;
+  }
+  EXPECT_EQ(sim.pending(), 200u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 200u);
+  EXPECT_EQ(sim.queue_entries(), 0u);
+  EXPECT_EQ(sim.queue_tombstones(), 0u);
+}
+
+TEST(Simulator, ArenaReusesSlotsInsteadOfGrowing) {
+  // A schedule→execute ping-pong touches one live event at a time; the
+  // arena must keep serving it from the same few slots.
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10000) sim.schedule(10, chain);
+  };
+  sim.schedule(10, chain);
+  sim.run();
+  EXPECT_EQ(fired, 10000);
+  EXPECT_LE(sim.arena_slots(), 4u);
+}
+
 TEST(VirtualCpu, SerializesWork) {
   Simulator sim;
   VirtualCpu cpu(sim);

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Compares a fresh sim_micro JSON report against the committed baseline and
+# fails when events/sec regressed by more than the allowed fraction
+# (default 30%), or when the steady-state allocation count is non-zero.
+#
+# Usage: tools/check_perf.sh <current.json> [baseline.json] [max_regression]
+#   current.json    report from `bench/sim_micro --quick --json ...`
+#   baseline.json   committed reference (default: BENCH_sim_micro.json)
+#   max_regression  allowed fractional drop, 0..1 (default: 0.30)
+#
+# Throughput is machine-dependent, so the gate is deliberately loose: it
+# catches algorithmic regressions (an accidental O(n) scan, a re-introduced
+# per-event allocation), not scheduler jitter.
+set -euo pipefail
+
+current="${1:?usage: check_perf.sh <current.json> [baseline.json] [max_regression]}"
+baseline="${2:-BENCH_sim_micro.json}"
+max_regression="${3:-0.30}"
+
+metric() {
+  # Extracts a numeric field from the flat sim_micro JSON.
+  awk -F: -v key="\"$1\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2; exit }' "$2"
+}
+
+cur_events=$(metric events_per_sec "$current")
+base_events=$(metric events_per_sec "$baseline")
+cur_allocs=$(metric steady_state_allocs "$current")
+
+if [ -z "$cur_events" ] || [ -z "$base_events" ]; then
+  echo "check_perf: missing events_per_sec in $current or $baseline" >&2
+  exit 1
+fi
+
+if [ "${cur_allocs:-1}" != "0" ]; then
+  echo "check_perf: FAIL — steady_state_allocs=$cur_allocs (expected 0)" >&2
+  exit 1
+fi
+
+awk -v cur="$cur_events" -v base="$base_events" -v max="$max_regression" '
+  BEGIN {
+    floor = base * (1.0 - max);
+    printf "check_perf: events/sec current=%.0f baseline=%.0f floor=%.0f\n",
+           cur, base, floor;
+    if (cur < floor) {
+      printf "check_perf: FAIL — events/sec regressed more than %.0f%%\n",
+             max * 100 > "/dev/stderr";
+      exit 1;
+    }
+    print "check_perf: OK";
+  }'
