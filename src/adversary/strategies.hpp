@@ -6,6 +6,12 @@
 // considered invalid". For ABBA, Byzantine processes instead transmit
 // messages with invalid signatures and justifications to burn verification
 // cycles at correct processes (strategies are enums inside each baseline).
+//
+// The harness applies these via the fault plan's role: a plan with
+// Role::kByzantine (e.g. the canned "Byzantine" plan behind the deprecated
+// FaultLoad::kByzantine alias) designates the top f process ids as faulty
+// and installs the per-protocol strategy below on each — see
+// src/faultplan/plan.hpp and harness::ScenarioConfig::plan.
 #pragma once
 
 #include "turquois/process.hpp"

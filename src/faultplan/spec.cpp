@@ -1,0 +1,278 @@
+#include "faultplan/spec.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+namespace turq::faultplan {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      parts.push_back(trim(s.substr(start)));
+      break;
+    }
+    parts.push_back(trim(s.substr(start, end - start)));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string owned(s);
+  out = std::strtod(owned.c_str(), &end);
+  return end == owned.c_str() + owned.size();
+}
+
+/// Milliseconds (fractional allowed) -> SimTime; "inf" -> max.
+bool parse_time_ms(std::string_view s, SimTime& out) {
+  if (s == "inf") {
+    out = std::numeric_limits<SimTime>::max();
+    return true;
+  }
+  double ms = 0;
+  if (!parse_double(s, ms) || ms < 0) return false;
+  out = static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+  return true;
+}
+
+bool parse_id_list(std::string_view s, std::vector<ProcessId>& out) {
+  for (const std::string_view part : split(s, '+')) {
+    double id = 0;
+    if (!parse_double(part, id) || id < 0 || id != static_cast<double>(
+                                                      static_cast<ProcessId>(id))) {
+      return false;
+    }
+    out.push_back(static_cast<ProcessId>(id));
+  }
+  return !out.empty();
+}
+
+bool fail(std::string* error, const std::string& reason) {
+  if (error != nullptr) *error = reason;
+  return false;
+}
+
+/// Parses one `kind(args)@windows` clause into `plan`.
+bool parse_clause(std::string_view text, FaultPlan& plan, std::string* error) {
+  // Split off "@windows" (the '@' never appears inside args).
+  std::string_view windows_part;
+  if (const std::size_t at = text.find('@'); at != std::string_view::npos) {
+    windows_part = trim(text.substr(at + 1));
+    text = trim(text.substr(0, at));
+  }
+  // Split off "(args)".
+  std::string_view args_part;
+  if (const std::size_t open = text.find('('); open != std::string_view::npos) {
+    if (text.back() != ')') {
+      return fail(error, "missing ')' in clause '" + std::string(text) + "'");
+    }
+    args_part = trim(text.substr(open + 1, text.size() - open - 2));
+    text = trim(text.substr(0, open));
+  }
+
+  Clause clause;
+  bool is_sigma = false;
+  if (text == "ambient") clause.kind = ClauseKind::kAmbient;
+  else if (text == "iid") clause.kind = ClauseKind::kIid;
+  else if (text == "burst") clause.kind = ClauseKind::kBurst;
+  else if (text == "jam") clause.kind = ClauseKind::kJam;
+  else if (text == "crash" || text == "churn") clause.kind = ClauseKind::kCrash;
+  else if (text == "adaptive") clause.kind = ClauseKind::kAdaptive;
+  else if (text == "sigma") { clause.kind = ClauseKind::kSigma; is_sigma = true; }
+  else {
+    return fail(error, "unknown clause kind '" + std::string(text) +
+                           "' (expected ambient|iid|burst|jam|crash|"
+                           "adaptive|sigma)");
+  }
+
+  if (!windows_part.empty()) {
+    for (const std::string_view w : split(windows_part, ',')) {
+      const std::size_t dash = w.find('-');
+      Window window;
+      if (dash == std::string_view::npos ||
+          !parse_time_ms(trim(w.substr(0, dash)), window.start) ||
+          !parse_time_ms(trim(w.substr(dash + 1)), window.end)) {
+        return fail(error, "bad window '" + std::string(w) +
+                               "' (expected START-END in ms, END may be inf)");
+      }
+      clause.windows.push_back(window);
+    }
+  }
+
+  if (!args_part.empty()) {
+    for (const std::string_view arg : split(args_part, ',')) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        return fail(error, "bad argument '" + std::string(arg) +
+                               "' (expected key=value)");
+      }
+      const std::string_view key = trim(arg.substr(0, eq));
+      const std::string_view value = trim(arg.substr(eq + 1));
+      double num = 0;
+      const bool is_num = parse_double(value, num);
+      SimTime time = 0;
+
+      if (key == "src") {
+        if (!parse_id_list(value, clause.src_scope)) {
+          return fail(error, "bad src id list '" + std::string(value) + "'");
+        }
+      } else if (key == "dst") {
+        if (!parse_id_list(value, clause.dst_scope)) {
+          return fail(error, "bad dst id list '" + std::string(value) + "'");
+        }
+      } else if (key == "p" && clause.kind == ClauseKind::kIid && is_num) {
+        clause.p = num;
+      } else if (key == "good_ms" && clause.kind == ClauseKind::kBurst &&
+                 is_num) {
+        clause.burst.mean_good_dwell =
+            static_cast<SimDuration>(num * static_cast<double>(kMillisecond));
+      } else if (key == "bad_ms" && clause.kind == ClauseKind::kBurst &&
+                 is_num) {
+        clause.burst.mean_bad_dwell =
+            static_cast<SimDuration>(num * static_cast<double>(kMillisecond));
+      } else if (key == "p_good" && clause.kind == ClauseKind::kBurst &&
+                 is_num) {
+        clause.burst.loss_good = num;
+      } else if (key == "p_bad" && clause.kind == ClauseKind::kBurst &&
+                 is_num) {
+        clause.burst.loss_bad = num;
+      } else if (key == "ids" && clause.kind == ClauseKind::kCrash) {
+        if (!parse_id_list(value, clause.processes)) {
+          return fail(error, "bad ids list '" + std::string(value) + "'");
+        }
+      } else if (key == "count" && clause.kind == ClauseKind::kCrash &&
+                 is_num) {
+        clause.crash_count = static_cast<std::uint32_t>(num);
+      } else if (key == "at" && clause.kind == ClauseKind::kCrash &&
+                 parse_time_ms(value, time)) {
+        clause.crash_at = time;
+      } else if (key == "recover" && clause.kind == ClauseKind::kCrash &&
+                 parse_time_ms(value, time)) {
+        clause.recover_at = time;
+      } else if (key == "frac" && clause.kind == ClauseKind::kAdaptive &&
+                 is_num) {
+        clause.sigma_fraction = num;
+      } else if (key == "round_ms" && is_sigma && is_num) {
+        plan.sigma_round =
+            static_cast<SimDuration>(num * static_cast<double>(kMillisecond));
+      } else {
+        return fail(error, "argument '" + std::string(key) +
+                               "' is not valid for clause kind '" +
+                               std::string(to_string(clause.kind)) + "'");
+      }
+    }
+  }
+
+  if (is_sigma) {
+    plan.track_sigma = true;
+    return true;  // accounting toggle, not an injection clause
+  }
+  plan.clauses.push_back(std::move(clause));
+  return true;
+}
+
+}  // namespace
+
+std::optional<FaultPlan> parse_spec(std::string_view spec,
+                                    std::string* error) {
+  FaultPlan plan;
+  plan.name = std::string(trim(spec));
+  plan.role = Role::kNone;
+  if (trim(spec).empty()) {
+    if (error != nullptr) *error = "empty fault-plan spec";
+    return std::nullopt;
+  }
+  for (const std::string_view clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    if (!parse_clause(clause, plan, error)) return std::nullopt;
+  }
+  return plan;
+}
+
+namespace {
+
+struct NamedPlan {
+  const char* name;
+  const char* description;
+  FaultPlan (*make)();
+};
+
+const NamedPlan kNamedPlans[] = {
+    {"none", "ambient channel only (alias of the failure-free load)",
+     [] { return canned_plan(Role::kNone, "failure-free"); }},
+    {"failstop", "f processes crash before the run (legacy fail-stop load)",
+     [] { return canned_plan(Role::kFailStop, "fail-stop"); }},
+    {"byzantine", "f processes run the paper's value-inversion attack",
+     [] { return canned_plan(Role::kByzantine, "Byzantine"); }},
+    {"jamming", "ambient channel plus two total-loss jamming windows",
+     [] {
+       FaultPlan p = *parse_spec("ambient;jam@250-400,800-950", nullptr);
+       p.name = "jamming";
+       return p;
+     }},
+    {"churn", "ambient channel plus one process churning off then back on",
+     [] {
+       FaultPlan p = *parse_spec("ambient;crash(count=1,at=50,recover=450)",
+                                 nullptr);
+       p.name = "churn";
+       return p;
+     }},
+    {"adaptive",
+     "adaptive omission adversary spending the full per-round sigma budget",
+     [] {
+       FaultPlan p = *parse_spec("sigma;adaptive(frac=1.0)", nullptr);
+       p.name = "adaptive";
+       return p;
+     }},
+    {"adaptive-half", "adaptive adversary at half the sigma budget",
+     [] {
+       FaultPlan p = *parse_spec("sigma;adaptive(frac=0.5)", nullptr);
+       p.name = "adaptive-half";
+       return p;
+     }},
+    {"sigma-violating",
+     "adaptive adversary at 4x the sigma budget (every round violates)",
+     [] {
+       FaultPlan p = *parse_spec("sigma;adaptive(frac=4.0)", nullptr);
+       p.name = "sigma-violating";
+       return p;
+     }},
+};
+
+}  // namespace
+
+std::optional<FaultPlan> plan_from_name(std::string_view name,
+                                        std::string* error) {
+  const std::string_view trimmed = trim(name);
+  for (const NamedPlan& named : kNamedPlans) {
+    if (trimmed == named.name) return named.make();
+  }
+  return parse_spec(trimmed, error);
+}
+
+std::vector<std::pair<std::string, std::string>> named_plans() {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const NamedPlan& named : kNamedPlans) {
+    out.emplace_back(named.name, named.description);
+  }
+  return out;
+}
+
+}  // namespace turq::faultplan

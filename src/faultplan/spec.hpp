@@ -1,0 +1,53 @@
+// Textual fault-plan specs and the named-plan registry.
+//
+// The CLI surface (`turquois_sim --faults=...`, `turquois_campaign
+// --plan ...`) accepts either a *named plan* or a *spec string*. Grammar
+// (full description in DESIGN.md §11):
+//
+//   spec    := clause (';' clause)*
+//   clause  := kind [ '(' arg (',' arg)* ')' ] [ '@' window (',' window)* ]
+//   kind    := ambient | iid | burst | jam | crash | adaptive | sigma
+//   arg     := key '=' value          value := number | id ('+' id)*
+//   window  := START '-' END          times in ms; END may be 'inf'
+//
+// Examples:
+//   "ambient;jam@250-400,800-950"            two jamming bursts on top of
+//                                            the ambient channel
+//   "crash(count=1,at=50,recover=450)"       one process churns off/on
+//   "sigma;adaptive(frac=0.5)"               adaptive adversary spending
+//                                            half the σ budget, σ-tracked
+//   "iid(p=0.2,dst=0+1)@0-2000"              20% loss at receivers 0 and 1
+//                                            for the first two seconds
+//
+// Per-kind keys: iid p=; burst good_ms= bad_ms= p_good= p_bad=;
+// crash ids= count= at= recover=; adaptive frac=; sigma round_ms=;
+// every kind also takes src= and dst= link scopes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faultplan/plan.hpp"
+
+namespace turq::faultplan {
+
+/// Parses a spec string into a plan (plan.name = the spec text). On a
+/// grammar or range error returns std::nullopt and, when `error` is
+/// non-null, a human-readable reason.
+[[nodiscard]] std::optional<FaultPlan> parse_spec(std::string_view spec,
+                                                  std::string* error);
+
+/// Resolves a named plan ("none", "failstop", "byzantine", "jamming",
+/// "churn", "adaptive", "adaptive-half", "sigma-violating") or, when `name`
+/// is not in the registry, falls through to parse_spec. The three legacy
+/// names map onto the canned plans of the deprecated FaultLoad alias.
+[[nodiscard]] std::optional<FaultPlan> plan_from_name(std::string_view name,
+                                                      std::string* error);
+
+/// (name, one-line description) of every registered named plan, in listing
+/// order — used by CLI --help output.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> named_plans();
+
+}  // namespace turq::faultplan

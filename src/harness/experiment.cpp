@@ -43,6 +43,33 @@ std::string to_string(FaultLoad f) {
   return "?";
 }
 
+faultplan::FaultPlan canned_plan(FaultLoad load) {
+  switch (load) {
+    case FaultLoad::kFailureFree:
+      return faultplan::canned_plan(faultplan::Role::kNone, "failure-free");
+    case FaultLoad::kFailStop:
+      return faultplan::canned_plan(faultplan::Role::kFailStop, "fail-stop");
+    case FaultLoad::kByzantine:
+      return faultplan::canned_plan(faultplan::Role::kByzantine, "Byzantine");
+  }
+  return faultplan::canned_plan(faultplan::Role::kNone, "failure-free");
+}
+
+faultplan::FaultPlan ScenarioConfig::effective_plan() const {
+  return plan.has_value() ? *plan : canned_plan(fault_load);
+}
+
+std::string ScenarioConfig::fault_label() const {
+  return plan.has_value() ? plan->name : to_string(fault_load);
+}
+
+ScenarioConfig ScenarioBuilder::build() const {
+  if (const auto reason = validate(cfg_)) {
+    throw std::invalid_argument("invalid scenario: " + *reason);
+  }
+  return cfg_;
+}
+
 namespace {
 
 /// Proposal value for process `id` under the given distribution: the paper's
@@ -59,7 +86,7 @@ struct Deployment {
   sim::Simulator sim;
   std::uint64_t rep_index = 0;
   std::unique_ptr<net::Medium> medium;
-  std::unique_ptr<net::CompositeFaults> faults;
+  faultplan::BuiltPlan faults;  // injector tree + optional σ meter
   std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
   std::vector<ProcessId> correct;   // processes expected to decide
   std::vector<ProcessId> faulty;    // crashed or Byzantine
@@ -72,12 +99,13 @@ struct Deployment {
   std::vector<std::optional<SimTime>> decide_at;
 };
 
-void split_roles(const ScenarioConfig& cfg, Deployment& d) {
+void split_roles(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
+                 Deployment& d) {
   // The last f processes take the faulty role, keeping the odd/even
   // proposal pattern of the survivors intact.
   const std::uint32_t f = cfg.f();
   for (ProcessId id = 0; id < cfg.n; ++id) {
-    if (cfg.fault_load != FaultLoad::kFailureFree && id >= cfg.n - f) {
+    if (plan.role != faultplan::Role::kNone && id >= cfg.n - f) {
       d.faulty.push_back(id);
     } else {
       d.correct.push_back(id);
@@ -85,19 +113,22 @@ void split_roles(const ScenarioConfig& cfg, Deployment& d) {
   }
 }
 
-void setup_medium(const ScenarioConfig& cfg, Deployment& d, Rng& root) {
+void setup_medium(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
+                  Deployment& d, Rng& root) {
   d.medium = std::make_unique<net::Medium>(d.sim, cfg.medium,
                                            root.derive("medium", 0));
-  d.faults = std::make_unique<net::CompositeFaults>();
-  if (cfg.loss_rate > 0) {
-    d.faults->add(std::make_unique<net::IidLoss>(cfg.loss_rate,
-                                                 root.derive("loss", 0)));
-  }
-  if (cfg.bursty_loss) {
-    d.faults->add(std::make_unique<net::GilbertElliott>(
-        cfg.burst_params, root.derive("burst", 0)));
-  }
-  d.medium->set_fault_injector(d.faults.get());
+  faultplan::BuildContext ctx;
+  ctx.n = cfg.n;
+  ctx.f = cfg.f();
+  ctx.k = cfg.k();
+  ctx.t = plan.role == faultplan::Role::kNone ? 0 : cfg.f();
+  ctx.ambient_loss_rate = cfg.loss_rate;
+  ctx.ambient_bursts = cfg.bursty_loss;
+  ctx.ambient_burst_params = cfg.burst_params;
+  ctx.round_duration = cfg.tick_interval;
+  ctx.root = root;  // derive()d from only; stream-neutral for the rest
+  d.faults = faultplan::build(plan, ctx);
+  d.medium->set_fault_injector(d.faults.injector.get());
 }
 
 RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
@@ -148,11 +179,25 @@ RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
 
   result.medium = d.medium->stats();
   for (const ProcessId id : d.correct) result.app_messages += d.sent[id]();
+  if (d.faults.sigma != nullptr) {
+    result.sigma = d.faults.sigma->summary();
+  }
 
 #if TURQ_TRACE_ENABLED
   if (trace::Tracer* t = trace::current()) {
     t->metrics().merge(d.medium->metrics());
     t->metrics().counter("app.messages").add(result.app_messages);
+    if (result.sigma.has_value()) {
+      const faultplan::SigmaSummary& s = *result.sigma;
+      auto& m = t->metrics();
+      m.counter("sigma.tracked_reps").add(1);
+      m.counter("sigma.bound").add(s.bound);
+      m.counter("sigma.rounds").add(static_cast<std::int64_t>(s.rounds));
+      m.counter("sigma.violating_rounds")
+          .add(static_cast<std::int64_t>(s.violating_rounds));
+      m.counter("sigma.omissions").add(static_cast<std::int64_t>(s.omissions));
+      m.counter("sigma.eligible_reps").add(s.liveness_eligible() ? 1 : 0);
+    }
     t->emit(trace::TraceEvent{
         .at = d.sim.now(), .category = trace::Category::kHarness,
         .kind = trace::Kind::kRepEnd,
@@ -164,12 +209,13 @@ RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
 
 // ----------------------------------------------------------- per protocol --
 
-RunResult run_turquois(const ScenarioConfig& cfg, Rng root,
+RunResult run_turquois(const ScenarioConfig& cfg,
+                       const faultplan::FaultPlan& plan, Rng root,
                        std::uint64_t rep_index, const ScenarioSetup* setup) {
   Deployment d;
   d.rep_index = rep_index;
-  split_roles(cfg, d);
-  setup_medium(cfg, d, root);
+  split_roles(cfg, plan, d);
+  setup_medium(cfg, plan, d, root);
 
   turquois::Config tcfg = turquois::Config::for_group(cfg.n);
   tcfg.tick_interval = cfg.tick_interval;
@@ -211,7 +257,7 @@ RunResult run_turquois(const ScenarioConfig& cfg, Rng root,
   }
 
   Rng start_rng = root.derive("start", 0);
-  const bool fail_stop = cfg.fault_load == FaultLoad::kFailStop;
+  const bool fail_stop = plan.role == faultplan::Role::kFailStop;
   for (ProcessId id = 0; id < cfg.n; ++id) {
     const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
                         d.faulty.end();
@@ -249,12 +295,13 @@ std::vector<std::vector<Bytes>> make_sa_keys(std::uint32_t n, Rng& root) {
   return keys;
 }
 
-RunResult run_bracha(const ScenarioConfig& cfg, Rng root,
+RunResult run_bracha(const ScenarioConfig& cfg,
+                     const faultplan::FaultPlan& plan, Rng root,
                      std::uint64_t rep_index, const ScenarioSetup* setup) {
   Deployment d;
   d.rep_index = rep_index;
-  split_roles(cfg, d);
-  setup_medium(cfg, d, root);
+  split_roles(cfg, plan, d);
+  setup_medium(cfg, plan, d, root);
 
   const bracha::Config bcfg = bracha::Config::for_group(cfg.n);
   net::TcpConfig tcp = cfg.tcp;
@@ -286,7 +333,7 @@ RunResult run_bracha(const ScenarioConfig& cfg, Rng root,
     }
     const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
                         d.faulty.end();
-    const auto strategy = (faulty && cfg.fault_load == FaultLoad::kByzantine)
+    const auto strategy = (faulty && plan.role == faultplan::Role::kByzantine)
                               ? bracha::Strategy::kValueInversion
                               : bracha::Strategy::kHonest;
     procs.push_back(std::make_unique<bracha::Process>(
@@ -303,7 +350,7 @@ RunResult run_bracha(const ScenarioConfig& cfg, Rng root,
     });
   }
 
-  if (cfg.fault_load == FaultLoad::kFailStop) {
+  if (plan.role == faultplan::Role::kFailStop) {
     // Crashed-before-start processes never came up: surviving hosts have no
     // connection to them (no frames wasted on unreachable peers).
     for (ProcessId alive = 0; alive < cfg.n; ++alive) {
@@ -317,7 +364,7 @@ RunResult run_bracha(const ScenarioConfig& cfg, Rng root,
   for (ProcessId id = 0; id < cfg.n; ++id) {
     const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
                         d.faulty.end();
-    if (faulty && cfg.fault_load == FaultLoad::kFailStop) {
+    if (faulty && plan.role == faultplan::Role::kFailStop) {
       procs[id]->crash();
       continue;
     }
@@ -347,12 +394,12 @@ RunResult run_bracha(const ScenarioConfig& cfg, Rng root,
   return result;
 }
 
-RunResult run_abba(const ScenarioConfig& cfg, Rng root,
-                   std::uint64_t rep_index) {
+RunResult run_abba(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
+                   Rng root, std::uint64_t rep_index) {
   Deployment d;
   d.rep_index = rep_index;
-  split_roles(cfg, d);
-  setup_medium(cfg, d, root);
+  split_roles(cfg, plan, d);
+  setup_medium(cfg, plan, d, root);
 
   const abba::Config acfg = abba::Config::for_group(cfg.n);
   // Per-repetition on purpose: the dealer's threshold shares combine into
@@ -378,7 +425,7 @@ RunResult run_abba(const ScenarioConfig& cfg, Rng root,
         d.sim, *d.medium, id, tcp, d.cpus.back().get(), &cfg.costs));
     const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
                         d.faulty.end();
-    const auto strategy = (faulty && cfg.fault_load == FaultLoad::kByzantine)
+    const auto strategy = (faulty && plan.role == faultplan::Role::kByzantine)
                               ? abba::Strategy::kInvalidCrypto
                               : abba::Strategy::kHonest;
     procs.push_back(std::make_unique<abba::Process>(
@@ -395,7 +442,7 @@ RunResult run_abba(const ScenarioConfig& cfg, Rng root,
     });
   }
 
-  if (cfg.fault_load == FaultLoad::kFailStop) {
+  if (plan.role == faultplan::Role::kFailStop) {
     // Crashed-before-start processes never came up: surviving hosts have no
     // connection to them (no frames wasted on unreachable peers).
     for (ProcessId alive = 0; alive < cfg.n; ++alive) {
@@ -409,7 +456,7 @@ RunResult run_abba(const ScenarioConfig& cfg, Rng root,
   for (ProcessId id = 0; id < cfg.n; ++id) {
     const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
                         d.faulty.end();
-    if (faulty && cfg.fault_load == FaultLoad::kFailStop) {
+    if (faulty && plan.role == faultplan::Role::kFailStop) {
       procs[id]->crash();
       continue;
     }
@@ -445,6 +492,11 @@ std::optional<std::string> validate(const ScenarioConfig& cfg) {
   if (cfg.loss_rate < 0.0 || cfg.loss_rate > 1.0) {
     return "loss_rate must be a probability in [0, 1]";
   }
+  if (cfg.plan.has_value()) {
+    if (const auto reason = cfg.plan->validate(cfg.n)) {
+      return "fault plan: " + *reason;
+    }
+  }
   return std::nullopt;
 }
 
@@ -476,6 +528,7 @@ RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index) {
 RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index,
                    const ScenarioSetup* setup) {
   Rng rep = Rng::stream(cfg.seed, "rep", rep_index);
+  const faultplan::FaultPlan plan = cfg.effective_plan();
 
 #if TURQ_TRACE_ENABLED
   // Each repetition gets a fresh tracer so the ring holds one run and the
@@ -497,13 +550,13 @@ RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index,
   RunResult result;
   switch (cfg.protocol) {
     case Protocol::kTurquois:
-      result = run_turquois(cfg, rep, rep_index, setup);
+      result = run_turquois(cfg, plan, rep, rep_index, setup);
       break;
     case Protocol::kBracha:
-      result = run_bracha(cfg, rep, rep_index, setup);
+      result = run_bracha(cfg, plan, rep, rep_index, setup);
       break;
     case Protocol::kAbba:
-      result = run_abba(cfg, rep, rep_index);
+      result = run_abba(cfg, plan, rep, rep_index);
       break;
   }
 
@@ -532,6 +585,21 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     }
     const RunResult& run = rep.run;
     if (!run.agreement_held || !run.validity_held) ++result.safety_violations;
+    if (run.sigma.has_value()) {
+      // Merged before the decided check: timed-out sigma-violating runs must
+      // still count against liveness eligibility.
+      if (!result.sigma.has_value()) result.sigma.emplace();
+      SigmaAggregate& agg = *result.sigma;
+      const faultplan::SigmaSummary& s = *run.sigma;
+      agg.bound = s.bound;
+      agg.rounds += s.rounds;
+      agg.violating_rounds += s.violating_rounds;
+      agg.omissions += s.omissions;
+      agg.max_round_omissions =
+          std::max(agg.max_round_omissions, s.max_round_omissions);
+      ++agg.tracked_reps;
+      if (s.liveness_eligible()) ++agg.eligible_reps;
+    }
     if (!run.all_correct_decided) {
       ++result.failed_runs;
       continue;

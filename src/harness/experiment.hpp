@@ -16,12 +16,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "crypto/cost_model.hpp"
+#include "faultplan/plan.hpp"
 #include "net/fault_injector.hpp"
 #include "net/medium.hpp"
 #include "net/reliable_channel.hpp"
@@ -31,7 +33,17 @@ namespace turq::harness {
 
 enum class Protocol { kTurquois, kBracha, kAbba };
 enum class ProposalDist { kUnanimous, kDivergent };
+
+/// Deprecated alias for the three canned fault campaigns of the paper's
+/// tables. New code sets ScenarioConfig::plan (a faultplan::FaultPlan)
+/// instead; this enum maps 1:1 onto faultplan::canned_plan and exists so
+/// the table benches keep compiling — and their reports keep their bytes —
+/// unchanged.
 enum class FaultLoad { kFailureFree, kFailStop, kByzantine };
+
+/// The canned plan a FaultLoad aliases: the matching role plus the ambient
+/// channel clause, labeled with the legacy table name.
+[[nodiscard]] faultplan::FaultPlan canned_plan(FaultLoad load);
 
 std::string to_string(Protocol p);
 std::string to_string(ProposalDist d);
@@ -42,7 +54,14 @@ struct ScenarioConfig {
   /// Group size; must be >= 4 (the smallest group with f >= 1).
   std::uint32_t n = 4;
   ProposalDist distribution = ProposalDist::kUnanimous;
+
+  /// Deprecated alias: consulted only when `plan` is unset, in which case
+  /// the scenario runs canned_plan(fault_load).
   FaultLoad fault_load = FaultLoad::kFailureFree;
+  /// The fault campaign. When set it fully describes the injected faults
+  /// (ambient loss applies only through a kAmbient clause) and overrides
+  /// `fault_load`.
+  std::optional<faultplan::FaultPlan> plan;
   /// Root seed. Everything a scenario does is a pure function of this seed
   /// (plus the config), including the parallel schedule's pooled output.
   std::uint64_t seed = 1;
@@ -100,6 +119,77 @@ struct ScenarioConfig {
   [[nodiscard]] std::uint32_t f() const { return (n - 1) / 3; }
   /// Decision quorum: k = n - f processes must decide for k-consensus.
   [[nodiscard]] std::uint32_t k() const { return n - f(); }
+
+  /// The plan this scenario actually runs: `plan` when set, otherwise the
+  /// canned plan aliased by `fault_load`.
+  [[nodiscard]] faultplan::FaultPlan effective_plan() const;
+  /// Label for tables and report cells — the effective plan's name. Canned
+  /// plans keep the legacy strings ("failure-free", "fail-stop",
+  /// "Byzantine"), so legacy report bytes are unchanged.
+  [[nodiscard]] std::string fault_label() const;
+};
+
+/// Fluent construction of a ScenarioConfig. Each setter returns *this for
+/// chaining; build() validates and throws std::invalid_argument with the
+/// validate() reason on a degenerate config, so campaign code can assemble
+/// grid cells declaratively and fail per cell rather than mid-run.
+///
+///   auto cfg = ScenarioBuilder{}
+///                  .protocol(Protocol::kTurquois)
+///                  .group_size(10)
+///                  .plan(faultplan::plan_from_name("adaptive", nullptr).value())
+///                  .repetitions(20)
+///                  .build();
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+  explicit ScenarioBuilder(ScenarioConfig base) : cfg_(std::move(base)) {}
+
+  ScenarioBuilder& protocol(Protocol p) { cfg_.protocol = p; return *this; }
+  ScenarioBuilder& group_size(std::uint32_t n) { cfg_.n = n; return *this; }
+  ScenarioBuilder& distribution(ProposalDist d) {
+    cfg_.distribution = d;
+    return *this;
+  }
+  /// Canned campaign via the deprecated alias (clears any explicit plan).
+  ScenarioBuilder& faults(FaultLoad load) {
+    cfg_.fault_load = load;
+    cfg_.plan.reset();
+    return *this;
+  }
+  ScenarioBuilder& plan(faultplan::FaultPlan p) {
+    cfg_.plan = std::move(p);
+    return *this;
+  }
+  ScenarioBuilder& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
+  ScenarioBuilder& repetitions(std::uint32_t reps) {
+    cfg_.repetitions = reps;
+    return *this;
+  }
+  ScenarioBuilder& jobs(std::uint32_t j) { cfg_.jobs = j; return *this; }
+  ScenarioBuilder& loss(double rate) { cfg_.loss_rate = rate; return *this; }
+  ScenarioBuilder& bursts(bool on) { cfg_.bursty_loss = on; return *this; }
+  ScenarioBuilder& tick(SimDuration interval) {
+    cfg_.tick_interval = interval;
+    return *this;
+  }
+  ScenarioBuilder& timeout(SimDuration deadline) {
+    cfg_.run_timeout = deadline;
+    return *this;
+  }
+  ScenarioBuilder& trace(trace::Sink* sink) {
+    cfg_.trace_sink = sink;
+    return *this;
+  }
+
+  /// The config assembled so far, unvalidated.
+  [[nodiscard]] const ScenarioConfig& peek() const { return cfg_; }
+  /// Validates and returns the config; throws std::invalid_argument with
+  /// the validate() reason when it is degenerate.
+  [[nodiscard]] ScenarioConfig build() const;
+
+ private:
+  ScenarioConfig cfg_;
 };
 
 /// Checks a config for values that would silently run a degenerate
@@ -125,6 +215,24 @@ struct RunResult {
   net::MediumStats medium;           // channel counters for this repetition
   std::uint64_t app_messages = 0;    // protocol-level point-to-point sends
   net::TcpHost::Stats tcp;           // summed over hosts (baselines only)
+  /// Per-round σ accounting; present iff the effective plan tracks σ.
+  std::optional<faultplan::SigmaSummary> sigma;
+};
+
+/// σ accounting pooled over a scenario's repetitions.
+struct SigmaAggregate {
+  std::int64_t bound = 0;              // per-round bound (same every rep)
+  std::uint64_t rounds = 0;            // summed over repetitions
+  std::uint64_t violating_rounds = 0;  // rounds with omissions > bound
+  std::uint64_t omissions = 0;         // injected omissions, all reps
+  std::uint64_t max_round_omissions = 0;  // worst single round of any rep
+  std::uint32_t tracked_reps = 0;      // repetitions with σ data
+  std::uint32_t eligible_reps = 0;     // reps with zero violating rounds
+
+  /// The paper's predicate held for every repetition.
+  [[nodiscard]] bool liveness_eligible() const {
+    return tracked_reps > 0 && eligible_reps == tracked_reps;
+  }
 };
 
 /// Pooled outcome of a scenario (one table cell).
@@ -136,6 +244,10 @@ struct ScenarioResult {
   std::uint32_t failed_runs = 0;     // repetitions missing decisions
   std::uint32_t safety_violations = 0;
   net::MediumStats medium_total;     // channel counters summed over reps
+  /// Pooled σ accounting; present iff the effective plan tracks σ. Failed
+  /// (timed-out) repetitions still contribute — a σ-violating stall is the
+  /// data point the accounting exists for.
+  std::optional<SigmaAggregate> sigma;
 
   /// Mean pooled latency in milliseconds.
   [[nodiscard]] double mean() const { return latency_ms.mean(); }

@@ -1,5 +1,6 @@
 #include "harness/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -65,6 +66,21 @@ void append_cell(std::string& out, const ReportCell& cell) {
   out += ",\"airtime_ms\":" +
          json_double(to_milliseconds(cell.medium.airtime));
   out += "}";
+  if (cell.sigma.has_value()) {
+    const SigmaAggregate& s = *cell.sigma;
+    out += ",\"sigma\":{";
+    out += "\"bound\":" + json_u64(static_cast<std::uint64_t>(
+                              std::max<std::int64_t>(s.bound, 0)));
+    out += ",\"rounds\":" + json_u64(s.rounds);
+    out += ",\"violating_rounds\":" + json_u64(s.violating_rounds);
+    out += ",\"omissions\":" + json_u64(s.omissions);
+    out += ",\"max_round_omissions\":" + json_u64(s.max_round_omissions);
+    out += ",\"tracked_reps\":" + json_u64(s.tracked_reps);
+    out += ",\"eligible_reps\":" + json_u64(s.eligible_reps);
+    out += ",\"liveness_eligible\":";
+    out += s.liveness_eligible() ? "true" : "false";
+    out += "}";
+  }
   if (!cell.extra.empty()) {
     out += ",\"extra\":{";
     bool first = true;
@@ -85,12 +101,13 @@ ReportCell make_cell(const ScenarioResult& result) {
   cell.protocol = to_string(result.config.protocol);
   cell.n = result.config.n;
   cell.distribution = to_string(result.config.distribution);
-  cell.fault_load = to_string(result.config.fault_load);
+  cell.fault_load = result.config.fault_label();
   cell.repetitions = result.config.repetitions;
   cell.failed_runs = result.failed_runs;
   cell.safety_violations = result.safety_violations;
   cell.latencies_ms = result.latency_ms.samples();
   cell.medium = result.medium_total;
+  cell.sigma = result.sigma;
   return cell;
 }
 

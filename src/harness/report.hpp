@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,9 @@ struct ReportCell {
   /// Pooled per-process latencies in repetition order (may be empty).
   std::vector<double> latencies_ms;
   net::MediumStats medium;
+  /// σ-bound accounting, present only when the scenario's fault plan tracks
+  /// σ (never for the canned loads, keeping their reports byte-identical).
+  std::optional<SigmaAggregate> sigma;
   /// Experiment-specific scalars (e.g. ablation sweep knobs such as
   /// "loss_rate" or "tick_ms"). std::map so emission order — and therefore
   /// the report bytes — is deterministic.

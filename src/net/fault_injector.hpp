@@ -5,6 +5,19 @@
 // pattern restriction (safety must hold even under 100% loss). The medium
 // consults a FaultInjector once per (frame, receiver) to decide omission,
 // on top of the collisions it models itself.
+//
+// These are the primitive injectors; declarative composition (time
+// windows, link scoping, crash/recover churn, σ-budget adversaries) lives
+// one layer up in src/faultplan, which assembles them into a single tree
+// per scenario.
+//
+// Stream-ownership contract: the stochastic injectors (IidLoss,
+// GilbertElliott) hold their Rng *by value*, so two injectors constructed
+// from the same Rng object replay the same random stream in lockstep —
+// correlated faults where independent ones were intended. Always hand each
+// injector its own derived stream (`rng.derive(tag, index)`); faultplan's
+// build() does this per clause, indexing streams by kind and order of
+// appearance.
 #pragma once
 
 #include <cstdint>

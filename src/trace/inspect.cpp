@@ -214,6 +214,24 @@ std::string inspect_jsonl(std::istream& in) {
           counter("medium.omissions"), counter("medium.deliveries"),
           counter("medium.bytes_on_air"));
 
+  // σ accounting, present only when the scenario's fault plan tracked it
+  // (the counters sum across repetition blocks, so per-rep quantities are
+  // recovered by dividing by tracked_reps).
+  const unsigned long long sigma_reps = counter("sigma.tracked_reps");
+  if (sigma_reps > 0) {
+    const unsigned long long eligible = counter("sigma.eligible_reps");
+    const unsigned long long violating = counter("sigma.violating_rounds");
+    appendf(out, "\n== sigma ==\n");
+    appendf(out,
+            "bound: %llu omissions/round, rounds: %llu, violating: %llu, "
+            "omissions: %llu\n",
+            counter("sigma.bound") / sigma_reps, counter("sigma.rounds"),
+            violating, counter("sigma.omissions"));
+    appendf(out, "liveness-eligible repetitions: %llu/%llu (%s)\n", eligible,
+            sigma_reps,
+            violating == 0 ? "liveness-eligible" : "sigma-violating");
+  }
+
   appendf(out, "\n== message complexity ==\n");
   appendf(out, "%8s %11s %8s %13s %16s\n", "process", "broadcasts", "decides",
           "decide_phase", "mean_latency_ms");

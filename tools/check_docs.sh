@@ -63,6 +63,7 @@ ignore_flags="--output-on-failure --test-dir --benchmark_out --build"
 echo "== README flag check (build dir: $build_dir) =="
 binaries=(
   "$build_dir/tools/turquois_sim"
+  "$build_dir/tools/turquois_campaign"
   "$build_dir/tools/trace_inspect"
   "$build_dir/bench/table1_failure_free"
   "$build_dir/bench/ablation_sigma"

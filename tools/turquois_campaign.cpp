@@ -1,0 +1,281 @@
+// turquois_campaign — fault-campaign grid runner.
+//
+// Sweeps a (protocol × fault plan × group size) grid, one scenario per
+// cell, and writes one machine-readable turquois-bench/1 report per cell
+// (BENCH_campaign_<protocol>_<plan>_n<N>.json). A cell that fails —
+// degenerate config, plan/group mismatch, or a crash inside the harness —
+// is isolated: the campaign records the error, keeps sweeping, and exits
+// non-zero at the end.
+//
+// The per-cell reports inherit the harness determinism contract: every
+// byte except the one-line "environment" object is a pure function of
+// (seed, cell coordinates), bit-identical at any --jobs value.
+//
+//   $ turquois_campaign --protocols turquois,bracha --sizes 4,7
+//                       --plan adaptive --plan "ambient;jam@250-400"
+//                       --reps 20 --seed 7 --out out/
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "faultplan/spec.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/scheduler.hpp"
+
+using namespace turq;
+using namespace turq::harness;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::string plans;
+  for (const auto& [name, description] : faultplan::named_plans()) {
+    plans += "                                      " + name + " — " +
+             description + "\n";
+  }
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --protocols turquois,abba,bracha    comma-separated protocol list\n"
+      "                                      (default turquois)\n"
+      "  --sizes 4,7,...                     comma-separated group sizes\n"
+      "                                      (default 4,7)\n"
+      "  --plan <name-or-spec>               repeatable; a named plan or a\n"
+      "                                      clause spec (see DESIGN.md\n"
+      "                                      Sec. 11). Default grid: none,\n"
+      "                                      failstop, byzantine, adaptive.\n"
+      "                                      Named plans:\n"
+      "%s"
+      "  --dist unanimous|divergent          proposal distribution\n"
+      "  --reps <N>                          repetitions per cell (default 20)\n"
+      "  --loss <p>                          ambient iid frame loss\n"
+      "                                      (default 0.01)\n"
+      "  --timeout <s>                       per-run deadline (default 120)\n"
+      "  --seed <S>                          root seed (default 1)\n"
+      "  --jobs <N>                          worker threads per cell\n"
+      "                                      (default 1, 0 = auto); cell\n"
+      "                                      reports are bit-identical for\n"
+      "                                      any N\n"
+      "  --out <dir>                         directory for the per-cell\n"
+      "                                      BENCH_*.json files (default .)\n"
+      "  --quick                             smoke preset: 2 reps, 30 s\n"
+      "                                      deadline (overrides --reps and\n"
+      "                                      --timeout)\n",
+      argv0, plans.c_str());
+  std::exit(2);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(',', start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+/// File-name-safe slug of a plan label: alnum preserved, everything else
+/// collapsed to single dashes ("sigma;adaptive(frac=1.0)" ->
+/// "sigma-adaptive-frac-1-0").
+std::string slug(const std::string& label) {
+  std::string out;
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '-') {
+      out += '-';
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out.empty() ? "plan" : out;
+}
+
+struct CellOutcome {
+  std::string label;        // "<protocol> n=<N> <plan>"
+  bool failed = false;      // config rejected or harness crashed
+  std::string error;
+  std::string json_path;
+  double mean_ms = 0.0;
+  std::size_t samples = 0;
+  std::uint32_t failed_runs = 0;
+  std::uint32_t safety_violations = 0;
+  std::optional<SigmaAggregate> sigma;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Protocol> protocols{Protocol::kTurquois};
+  std::vector<std::uint32_t> sizes{4, 7};
+  std::vector<faultplan::FaultPlan> plans;
+  ProposalDist dist = ProposalDist::kUnanimous;
+  std::uint32_t reps = 20;
+  double loss_rate = 0.01;
+  SimDuration timeout = 120 * kSecond;
+  std::uint64_t seed = 1;
+  std::uint32_t jobs = 1;
+  std::string out_dir = ".";
+  bool quick = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--protocols") {
+      protocols.clear();
+      for (const std::string& p : split_list(next())) {
+        if (p == "turquois") protocols.push_back(Protocol::kTurquois);
+        else if (p == "abba") protocols.push_back(Protocol::kAbba);
+        else if (p == "bracha") protocols.push_back(Protocol::kBracha);
+        else usage(argv[0]);
+      }
+    } else if (arg == "--sizes") {
+      sizes.clear();
+      for (const std::string& s : split_list(next())) {
+        sizes.push_back(static_cast<std::uint32_t>(std::atoi(s.c_str())));
+      }
+    } else if (arg == "--plan") {
+      std::string error;
+      const auto plan = faultplan::plan_from_name(next(), &error);
+      if (!plan.has_value()) {
+        std::fprintf(stderr, "bad --plan: %s\n", error.c_str());
+        return 2;
+      }
+      plans.push_back(*plan);
+    } else if (arg == "--dist") {
+      const std::string d = next();
+      if (d == "unanimous") dist = ProposalDist::kUnanimous;
+      else if (d == "divergent") dist = ProposalDist::kDivergent;
+      else usage(argv[0]);
+    } else if (arg == "--reps") {
+      reps = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--loss") {
+      loss_rate = std::atof(next());
+    } else if (arg == "--timeout") {
+      timeout = std::atoll(next()) * kSecond;
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (quick) {
+    reps = 2;
+    timeout = 30 * kSecond;
+  }
+  if (plans.empty()) {
+    for (const char* name : {"none", "failstop", "byzantine", "adaptive"}) {
+      plans.push_back(*faultplan::plan_from_name(name, nullptr));
+    }
+  }
+  if (!out_dir.empty() && out_dir.back() == '/') out_dir.pop_back();
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create output directory %s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  std::vector<CellOutcome> outcomes;
+  for (const Protocol protocol : protocols) {
+    for (const faultplan::FaultPlan& plan : plans) {
+      for (const std::uint32_t n : sizes) {
+        CellOutcome cell;
+        cell.label = to_string(protocol) + " n=" + std::to_string(n) + " " +
+                     plan.name;
+        std::printf("[cell] %s ...\n", cell.label.c_str());
+        std::fflush(stdout);
+        const auto started = std::chrono::steady_clock::now();
+        try {
+          const ScenarioConfig cfg = ScenarioBuilder{}
+                                         .protocol(protocol)
+                                         .group_size(n)
+                                         .distribution(dist)
+                                         .plan(plan)
+                                         .seed(seed)
+                                         .repetitions(reps)
+                                         .jobs(jobs)
+                                         .loss(loss_rate)
+                                         .timeout(timeout)
+                                         .build();
+          const ScenarioResult r = run_scenario(cfg);
+          const double wall = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - started)
+                                  .count();
+          const std::string name = "campaign_" + to_string(protocol) + "_" +
+                                   slug(plan.name) + "_n" + std::to_string(n);
+          BenchReport report;
+          report.name = name;
+          report.seed = seed;
+          report.jobs = effective_jobs(jobs);
+          report.wall_seconds = wall;
+          report.cells.push_back(make_cell(r));
+          cell.json_path = out_dir + "/BENCH_" + name + ".json";
+          if (!write_json_report(report, cell.json_path)) {
+            cell.failed = true;
+            cell.error = "cannot write " + cell.json_path;
+          }
+          cell.mean_ms = r.latency_ms.empty() ? 0.0 : r.mean();
+          cell.samples = r.latency_ms.count();
+          cell.failed_runs = r.failed_runs;
+          cell.safety_violations = r.safety_violations;
+          cell.sigma = r.sigma;
+        } catch (const std::exception& e) {
+          // Isolate the cell: record the failure and keep sweeping.
+          cell.failed = true;
+          cell.error = e.what();
+        }
+        outcomes.push_back(std::move(cell));
+      }
+    }
+  }
+
+  std::printf("\n%-34s %12s %8s %8s %s\n", "cell", "mean_ms", "samples",
+              "failed", "sigma");
+  bool any_failed = false;
+  for (const CellOutcome& cell : outcomes) {
+    if (cell.failed) {
+      any_failed = true;
+      std::printf("%-34s ERROR: %s\n", cell.label.c_str(), cell.error.c_str());
+      continue;
+    }
+    std::string sigma = "-";
+    if (cell.sigma.has_value()) {
+      sigma = std::to_string(cell.sigma->eligible_reps) + "/" +
+              std::to_string(cell.sigma->tracked_reps) + " eligible (" +
+              (cell.sigma->liveness_eligible() ? "liveness-eligible"
+                                               : "sigma-violating") +
+              ", bound " + std::to_string(cell.sigma->bound) + ")";
+    }
+    std::printf("%-34s %12.2f %8zu %8u %s\n", cell.label.c_str(), cell.mean_ms,
+                cell.samples, cell.failed_runs, sigma.c_str());
+    if (cell.safety_violations > 0) {
+      any_failed = true;
+      std::printf("%-34s SAFETY VIOLATIONS: %u\n", cell.label.c_str(),
+                  cell.safety_violations);
+    }
+  }
+  std::printf("\n%zu cells, reports in %s/\n", outcomes.size(),
+              out_dir.c_str());
+  return any_failed ? 1 : 0;
+}

@@ -16,6 +16,7 @@
 
 #include <chrono>
 
+#include "faultplan/spec.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "harness/scheduler.hpp"
@@ -33,7 +34,12 @@ namespace {
       "  --protocol turquois|abba|bracha   (default turquois)\n"
       "  --n <4..64>                       group size (default 7)\n"
       "  --dist unanimous|divergent        proposal distribution\n"
-      "  --faults none|failstop|byzantine  fault load (default none)\n"
+      "  --faults <plan>                   fault plan: a named plan (none|\n"
+      "                                    failstop|byzantine|jamming|churn|\n"
+      "                                    adaptive|adaptive-half|\n"
+      "                                    sigma-violating) or a clause spec\n"
+      "                                    such as 'ambient;jam@250-400'\n"
+      "                                    (default none)\n"
       "  --reps <N>                        repetitions (default 20)\n"
       "  --loss <p>                        extra iid frame loss (default 0.01)\n"
       "  --no-bursts                       disable Gilbert-Elliott bursts\n"
@@ -89,10 +95,20 @@ int main(int argc, char** argv) {
       else usage(argv[0]);
     } else if (arg == "--faults") {
       const std::string_view f = next();
+      // The legacy names keep setting the deprecated alias (exact legacy
+      // config bytes); everything else goes through the plan registry.
       if (f == "none") cfg.fault_load = FaultLoad::kFailureFree;
       else if (f == "failstop") cfg.fault_load = FaultLoad::kFailStop;
       else if (f == "byzantine") cfg.fault_load = FaultLoad::kByzantine;
-      else usage(argv[0]);
+      else {
+        std::string error;
+        const auto plan = faultplan::plan_from_name(f, &error);
+        if (!plan.has_value()) {
+          std::fprintf(stderr, "bad --faults plan: %s\n", error.c_str());
+          return 2;
+        }
+        cfg.plan = *plan;
+      }
     } else if (arg == "--reps") {
       cfg.repetitions = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--loss") {
@@ -154,7 +170,7 @@ int main(int argc, char** argv) {
               "%u reps, seed %llu\n",
               to_string(cfg.protocol).c_str(), cfg.n, cfg.f(), cfg.k(),
               to_string(cfg.distribution).c_str(),
-              to_string(cfg.fault_load).c_str(), cfg.repetitions,
+              cfg.fault_label().c_str(), cfg.repetitions,
               static_cast<unsigned long long>(cfg.seed));
 
   if (verbose) {
@@ -194,7 +210,22 @@ int main(int argc, char** argv) {
                 trace_format == "jsonl" ? trace_path.c_str()
                                         : "<jsonl traces only>");
   }
+  const auto print_sigma = [&r] {
+    if (!r.sigma.has_value()) return;
+    std::printf("sigma: bound %lld/round, %llu rounds (%llu violating), "
+                "%llu omissions, max %llu in one round -> %u/%u reps "
+                "liveness-eligible (%s)\n",
+                static_cast<long long>(r.sigma->bound),
+                static_cast<unsigned long long>(r.sigma->rounds),
+                static_cast<unsigned long long>(r.sigma->violating_rounds),
+                static_cast<unsigned long long>(r.sigma->omissions),
+                static_cast<unsigned long long>(r.sigma->max_round_omissions),
+                r.sigma->eligible_reps, r.sigma->tracked_reps,
+                r.sigma->liveness_eligible() ? "liveness-eligible"
+                                             : "sigma-violating");
+  };
   if (r.latency_ms.empty()) {
+    print_sigma();
     std::printf("result: no successful repetitions (%u failed)\n",
                 r.failed_runs);
     return 1;
@@ -212,6 +243,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.medium_total.mac_retries),
               to_milliseconds(r.medium_total.airtime),
               static_cast<unsigned long long>(r.medium_total.bytes_on_air));
+  print_sigma();
   if (r.failed_runs > 0) {
     std::printf("warning: %u repetitions missed the deadline\n", r.failed_runs);
   }
