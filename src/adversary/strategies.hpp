@@ -32,4 +32,21 @@ inline turquois::Process::Mutator turquois_value_inversion() {
   };
 }
 
+/// Insider forgery of the unsigned header bits: on CONVERGE-phase broadcasts
+/// past the first cycle, stamp status = decided and from_coin = true while
+/// keeping the (signed) phase/value pair intact. Neither flag is covered by
+/// the one-time signature, so a Byzantine insider can attach them to an
+/// otherwise-honest message. Against the pre-fix adopt() rule this made a
+/// lagging correct process coin-flip a *decided* message it jumped to and
+/// then decide the coin's output — an agreement violation with probability
+/// 1/2 per adoption (found by turquois_fuzz; fixed in process.cpp adopt()).
+inline turquois::Process::Mutator turquois_decided_coin_forge() {
+  return [](turquois::Message& m) {
+    if (m.phase % 3 == 1 && m.phase > 3 && is_binary(m.value)) {
+      m.status = Status::kDecided;
+      m.from_coin = true;
+    }
+  };
+}
+
 }  // namespace turq::adversary

@@ -351,6 +351,7 @@ void Process::try_progress(std::uint32_t round) {
     TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
                      .kind = trace::Kind::kRoundEnter, .process = id_,
                      .phase = round_);
+    if (on_round_) on_round_(round_, sim_.now());
     send_prevote(round_, *next);
     try_progress(round_);
   }

@@ -80,6 +80,9 @@ enum class Vote : std::uint8_t { kZero = 0, kOne = 1, kAbstain = 2 };
 class Process {
  public:
   using DecideHandler = std::function<void(Value, std::uint32_t round, SimTime)>;
+  /// Round-entry callback, fired whenever the process advances to a new
+  /// round. Purely observational (consensus auditor); never steers the run.
+  using RoundHandler = std::function<void(std::uint32_t round, SimTime)>;
 
   Process(sim::Simulator& simulator, net::TcpHost& transport,
           sim::VirtualCpu& cpu, const Config& config, const Dealer& dealer,
@@ -93,6 +96,7 @@ class Process {
   void crash();
 
   void set_on_decide(DecideHandler handler) { on_decide_ = std::move(handler); }
+  void set_on_round(RoundHandler handler) { on_round_ = std::move(handler); }
 
   [[nodiscard]] ProcessId id() const { return id_; }
   [[nodiscard]] bool decided() const { return decision_.has_value(); }
@@ -182,6 +186,7 @@ class Process {
   std::map<std::uint32_t, RoundState> rounds_;
 
   DecideHandler on_decide_;
+  RoundHandler on_round_;
   Stats stats_;
 };
 

@@ -270,6 +270,7 @@ void Process::try_advance() {
         }
         flag_ = false;
         round_ += 1;
+        if (on_round_) on_round_(round_, sim_.now());
         next_step = 1;
         break;
       }

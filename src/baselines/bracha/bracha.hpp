@@ -61,6 +61,9 @@ enum class Strategy : std::uint8_t {
 class Process {
  public:
   using DecideHandler = std::function<void(Value, std::uint32_t round, SimTime)>;
+  /// Round-entry callback, fired whenever the process advances to a new
+  /// round. Purely observational (consensus auditor); never steers the run.
+  using RoundHandler = std::function<void(std::uint32_t round, SimTime)>;
 
   Process(sim::Simulator& simulator, net::TcpHost& transport,
           sim::VirtualCpu& cpu, const Config& config, ProcessId id, Rng rng,
@@ -74,6 +77,7 @@ class Process {
   void crash();
 
   void set_on_decide(DecideHandler handler) { on_decide_ = std::move(handler); }
+  void set_on_round(RoundHandler handler) { on_round_ = std::move(handler); }
 
   [[nodiscard]] ProcessId id() const { return id_; }
   [[nodiscard]] bool decided() const { return decision_.has_value(); }
@@ -174,6 +178,7 @@ class Process {
       accepted_;
 
   DecideHandler on_decide_;
+  RoundHandler on_round_;
   Stats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "faultplan/spec.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 
@@ -87,6 +88,19 @@ bool parse_clause(std::string_view text, FaultPlan& plan, std::string* error) {
     text = trim(text.substr(0, open));
   }
 
+  // Role pseudo-clauses: set the behaviour of the f designated-faulty
+  // processes instead of adding an injection clause. They let a spec string
+  // express everything a FaultPlan value holds, which is what makes
+  // to_spec() round-trip (the fuzzer's shrunk reproducers rely on it).
+  if (text == "failstop" || text == "byzantine") {
+    if (!args_part.empty() || !windows_part.empty()) {
+      return fail(error, "role clause '" + std::string(text) +
+                             "' takes no arguments or windows");
+    }
+    plan.role = text == "failstop" ? Role::kFailStop : Role::kByzantine;
+    return true;
+  }
+
   Clause clause;
   bool is_sigma = false;
   if (text == "ambient") clause.kind = ClauseKind::kAmbient;
@@ -99,7 +113,7 @@ bool parse_clause(std::string_view text, FaultPlan& plan, std::string* error) {
   else {
     return fail(error, "unknown clause kind '" + std::string(text) +
                            "' (expected ambient|iid|burst|jam|crash|"
-                           "adaptive|sigma)");
+                           "adaptive|sigma|failstop|byzantine)");
   }
 
   if (!windows_part.empty()) {
@@ -265,6 +279,111 @@ std::optional<FaultPlan> plan_from_name(std::string_view name,
     if (trimmed == named.name) return named.make();
   }
   return parse_spec(trimmed, error);
+}
+
+namespace {
+
+std::string fmt_num(double x) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", x);
+  return buf;
+}
+
+std::string fmt_ms(SimTime t) {
+  if (t == std::numeric_limits<SimTime>::max()) return "inf";
+  return fmt_num(static_cast<double>(t) / static_cast<double>(kMillisecond));
+}
+
+std::string fmt_ids(const std::vector<ProcessId>& ids) {
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out += "+";
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_spec(const FaultPlan& plan) {
+  std::vector<std::string> clauses;
+  if (plan.role == Role::kFailStop) clauses.emplace_back("failstop");
+  if (plan.role == Role::kByzantine) clauses.emplace_back("byzantine");
+  if (plan.track_sigma) {
+    std::string c = "sigma";
+    if (plan.sigma_round != 0) {
+      c += "(round_ms=" + fmt_ms(plan.sigma_round) + ")";
+    }
+    clauses.push_back(std::move(c));
+  }
+  for (const Clause& clause : plan.clauses) {
+    std::string c = to_string(clause.kind);
+    std::vector<std::string> args;
+    switch (clause.kind) {
+      case ClauseKind::kIid:
+        args.push_back("p=" + fmt_num(clause.p));
+        break;
+      case ClauseKind::kBurst:
+        args.push_back("good_ms=" +
+                       fmt_ms(static_cast<SimTime>(
+                           clause.burst.mean_good_dwell)));
+        args.push_back("bad_ms=" + fmt_ms(static_cast<SimTime>(
+                                       clause.burst.mean_bad_dwell)));
+        args.push_back("p_good=" + fmt_num(clause.burst.loss_good));
+        args.push_back("p_bad=" + fmt_num(clause.burst.loss_bad));
+        break;
+      case ClauseKind::kCrash:
+        if (!clause.processes.empty()) {
+          args.push_back("ids=" + fmt_ids(clause.processes));
+        }
+        if (clause.crash_count > 0) {
+          args.push_back("count=" + std::to_string(clause.crash_count));
+        }
+        if (clause.crash_at != 0) {
+          args.push_back("at=" + fmt_ms(clause.crash_at));
+        }
+        if (clause.recover_at.has_value()) {
+          args.push_back("recover=" + fmt_ms(*clause.recover_at));
+        }
+        break;
+      case ClauseKind::kAdaptive:
+        args.push_back("frac=" + fmt_num(clause.sigma_fraction));
+        break;
+      case ClauseKind::kAmbient:
+      case ClauseKind::kJam:
+      case ClauseKind::kSigma:
+        break;
+    }
+    if (!clause.src_scope.empty()) {
+      args.push_back("src=" + fmt_ids(clause.src_scope));
+    }
+    if (!clause.dst_scope.empty()) {
+      args.push_back("dst=" + fmt_ids(clause.dst_scope));
+    }
+    if (!args.empty()) {
+      c += "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i != 0) c += ",";
+        c += args[i];
+      }
+      c += ")";
+    }
+    if (!clause.windows.empty()) {
+      c += "@";
+      for (std::size_t i = 0; i < clause.windows.size(); ++i) {
+        if (i != 0) c += ",";
+        c += fmt_ms(clause.windows[i].start) + "-" +
+             fmt_ms(clause.windows[i].end);
+      }
+    }
+    clauses.push_back(std::move(c));
+  }
+  std::string out;
+  for (std::size_t i = 0; i < clauses.size(); ++i) {
+    if (i != 0) out += ";";
+    out += clauses[i];
+  }
+  return out;
 }
 
 std::vector<std::pair<std::string, std::string>> named_plans() {

@@ -7,8 +7,14 @@
 //   spec    := clause (';' clause)*
 //   clause  := kind [ '(' arg (',' arg)* ')' ] [ '@' window (',' window)* ]
 //   kind    := ambient | iid | burst | jam | crash | adaptive | sigma
+//            | failstop | byzantine
 //   arg     := key '=' value          value := number | id ('+' id)*
 //   window  := START '-' END          times in ms; END may be 'inf'
+//
+// `failstop` and `byzantine` are role pseudo-clauses: they set the plan's
+// Role (the behaviour of the f designated-faulty processes) rather than
+// adding an injection clause, so a spec string can express every field a
+// FaultPlan value holds — which is what lets to_spec() round-trip.
 //
 // Examples:
 //   "ambient;jam@250-400,800-950"            two jamming bursts on top of
@@ -49,5 +55,15 @@ namespace turq::faultplan {
 /// (name, one-line description) of every registered named plan, in listing
 /// order — used by CLI --help output.
 [[nodiscard]] std::vector<std::pair<std::string, std::string>> named_plans();
+
+/// Serialises a plan back into a spec string such that
+/// parse_spec(to_spec(p)) reproduces p's role, clauses and σ settings
+/// (plan.name is the spec text itself, not round-tripped). Times print in
+/// ms with enough digits to survive the round trip; the empty plan (no
+/// role, no σ, no clauses) serialises to "" — which parse_spec rejects, so
+/// callers emitting reproducers keep at least one clause. Used by
+/// turquois_fuzz to print shrunk fault plans as ready-to-run --faults
+/// arguments.
+[[nodiscard]] std::string to_spec(const FaultPlan& plan);
 
 }  // namespace turq::faultplan

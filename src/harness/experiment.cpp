@@ -43,6 +43,14 @@ std::string to_string(FaultLoad f) {
   return "?";
 }
 
+std::string to_string(TurquoisAttack a) {
+  switch (a) {
+    case TurquoisAttack::kValueInversion: return "value-inversion";
+    case TurquoisAttack::kDecidedCoinForge: return "decided-coin";
+  }
+  return "?";
+}
+
 faultplan::FaultPlan canned_plan(FaultLoad load) {
   switch (load) {
     case FaultLoad::kFailureFree:
@@ -97,7 +105,24 @@ struct Deployment {
   std::vector<std::function<std::uint64_t()>> sent;
   std::vector<SimTime> start_at;
   std::vector<std::optional<SimTime>> decide_at;
+
+  // Consensus auditor (nullptr when ScenarioConfig::audit is off). The
+  // builders feed the per-process hooks; `audit_finalize` runs the
+  // protocol-specific post-run checks (e.g. the Turquois decide-quorum view
+  // scan) before collect() closes the report.
+  std::unique_ptr<audit::ConsensusAuditor> auditor;
+  std::function<void(audit::ConsensusAuditor&)> audit_finalize;
 };
+
+void setup_auditor(const ScenarioConfig& cfg, Deployment& d) {
+  if (!cfg.audit) return;
+  audit::AuditConfig acfg;
+  acfg.n = cfg.n;
+  acfg.f = cfg.f();
+  acfg.k = cfg.k();
+  acfg.phase_bound = cfg.audit_phase_bound;
+  d.auditor = std::make_unique<audit::ConsensusAuditor>(acfg);
+}
 
 void split_roles(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
                  Deployment& d) {
@@ -125,7 +150,23 @@ void setup_medium(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
   ctx.ambient_loss_rate = cfg.loss_rate;
   ctx.ambient_bursts = cfg.bursty_loss;
   ctx.ambient_burst_params = cfg.burst_params;
-  ctx.round_duration = cfg.tick_interval;
+  // σ accounting (and the adaptive adversary's budget window) is per
+  // *communication round* — the span in which every process broadcasts once
+  // (§5). One tick only fits a handful of frames on the serialized 802.11b
+  // channel, so at larger n a full exchange spans several ticks; granting a
+  // fresh σ budget every tick would hand the adversary a multiple of the
+  // paper's per-round budget and let it starve liveness while the
+  // accountant still reports the run σ-eligible (turquois_fuzz found
+  // exactly that at n=16: permanent livelock labelled liveness-eligible).
+  // 2 ms conservatively covers one justification-carrying broadcast frame.
+  // An explicit sigma(round_ms=...) clause still overrides this default.
+  constexpr SimDuration kFrameSlot = 2 * kMillisecond;
+  const SimDuration exchange =
+      static_cast<SimDuration>(cfg.n) * kFrameSlot;
+  const SimDuration ticks_per_round =
+      (exchange + cfg.tick_interval - 1) / cfg.tick_interval;
+  ctx.round_duration =
+      cfg.tick_interval * std::max<SimDuration>(SimDuration{1}, ticks_per_round);
   ctx.root = root;  // derive()d from only; stream-neutral for the rest
   d.faults = faultplan::build(plan, ctx);
   d.medium->set_fault_injector(d.faults.injector.get());
@@ -183,6 +224,11 @@ RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
     result.sigma = d.faults.sigma->summary();
   }
 
+  if (d.auditor != nullptr) {
+    if (d.audit_finalize) d.audit_finalize(*d.auditor);
+    result.audit = d.auditor->finish(result.sigma, result.all_correct_decided);
+  }
+
 #if TURQ_TRACE_ENABLED
   if (trace::Tracer* t = trace::current()) {
     t->metrics().merge(d.medium->metrics());
@@ -197,6 +243,16 @@ RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
           .add(static_cast<std::int64_t>(s.violating_rounds));
       m.counter("sigma.omissions").add(static_cast<std::int64_t>(s.omissions));
       m.counter("sigma.eligible_reps").add(s.liveness_eligible() ? 1 : 0);
+    }
+    if (result.audit.has_value()) {
+      auto& m = t->metrics();
+      m.counter("audit.checked_reps").add(1);
+      m.counter("audit.violations")
+          .add(static_cast<std::int64_t>(result.audit->violations.size()));
+      m.counter("audit.violating_reps").add(result.audit->passed() ? 0 : 1);
+      for (const audit::Violation& v : result.audit->violations) {
+        m.counter(std::string("audit.") + audit::to_string(v.property)).add(1);
+      }
     }
     t->emit(trace::TraceEvent{
         .at = d.sim.now(), .category = trace::Category::kHarness,
@@ -216,6 +272,7 @@ RunResult run_turquois(const ScenarioConfig& cfg,
   d.rep_index = rep_index;
   split_roles(cfg, plan, d);
   setup_medium(cfg, plan, d, root);
+  setup_auditor(cfg, d);
 
   turquois::Config tcfg = turquois::Config::for_group(cfg.n);
   tcfg.tick_interval = cfg.tick_interval;
@@ -251,9 +308,20 @@ RunResult run_turquois(const ScenarioConfig& cfg,
       return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
     };
     d.sent[id] = [p] { return p->stats().broadcasts; };
-    p->set_on_decide([&d, id](Value, turquois::Phase, SimTime at) {
+    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
+                         d.correct.end();
+    audit::ConsensusAuditor* auditor =
+        correct ? d.auditor.get() : nullptr;  // observe correct processes only
+    p->set_on_decide([&d, id, auditor](Value v, turquois::Phase phase,
+                                       SimTime at) {
       d.decide_at[id] = at;
+      if (auditor != nullptr) auditor->on_decide(id, v, phase, at);
     });
+    if (auditor != nullptr) {
+      p->set_on_phase([id, auditor](turquois::Phase phase, SimTime at) {
+        auditor->on_phase(id, phase, at);
+      });
+    }
   }
 
   Rng start_rng = root.derive("start", 0);
@@ -266,15 +334,56 @@ RunResult run_turquois(const ScenarioConfig& cfg,
       continue;
     }
     if (faulty) {
-      procs[id]->set_mutator(adversary::turquois_value_inversion());
+      procs[id]->set_mutator(cfg.attack == TurquoisAttack::kDecidedCoinForge
+                                 ? adversary::turquois_decided_coin_forge()
+                                 : adversary::turquois_value_inversion());
     }
     const auto offset = static_cast<SimDuration>(start_rng.uniform(
         static_cast<std::uint64_t>(cfg.start_spread) + 1));
     d.start_at[id] = offset;
+    if (!faulty && d.auditor != nullptr) {
+      d.auditor->on_propose(id, proposal_for(cfg.distribution, id), offset);
+    }
     d.sim.schedule_at(offset, [p = procs[id].get(),
                                v = proposal_for(cfg.distribution, id)] {
       p->propose(v);
     });
+  }
+
+  if (d.auditor != nullptr) {
+    // Quorum sanity, Turquois-flavoured: every correct decision must be
+    // backed by a quorum of messages carrying (some DECIDE phase, value) in
+    // the decider's final view. This holds for both decision paths — an own
+    // quorum transition counts its own view, and an adopted kDecided message
+    // passed status_valid only once the receiver's view held the decide
+    // quorum (validation.cpp) — and views never shrink.
+    std::vector<turquois::Process*> raw;
+    raw.reserve(procs.size());
+    for (const auto& p : procs) raw.push_back(p.get());
+    d.audit_finalize = [&d, tcfg, raw](audit::ConsensusAuditor& auditor) {
+      for (const ProcessId id : d.correct) {
+        const turquois::Process* p = raw[id];
+        if (!p->decided()) continue;
+        const Value v = p->decision();
+        const turquois::Message* highest =
+            p->view().highest_phase_message();
+        bool evidence = false;
+        if (highest != nullptr) {
+          for (turquois::Phase dph = 3; dph <= highest->phase; dph += 3) {
+            if (tcfg.exceeds_quorum(p->view().count_phase_value(dph, v))) {
+              evidence = true;
+              break;
+            }
+          }
+        }
+        if (!evidence) {
+          auditor.note_violation(
+              audit::Property::kQuorumSanity, id,
+              "decided " + turq::to_string(v) +
+                  " without a decide-phase quorum for it in the final view");
+        }
+      }
+    };
   }
 
   return collect(cfg, d);
@@ -302,6 +411,7 @@ RunResult run_bracha(const ScenarioConfig& cfg,
   d.rep_index = rep_index;
   split_roles(cfg, plan, d);
   setup_medium(cfg, plan, d, root);
+  setup_auditor(cfg, d);
 
   const bracha::Config bcfg = bracha::Config::for_group(cfg.n);
   net::TcpConfig tcp = cfg.tcp;
@@ -345,9 +455,19 @@ RunResult run_bracha(const ScenarioConfig& cfg,
       return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
     };
     d.sent[id] = [p] { return p->stats().messages_sent; };
-    p->set_on_decide([&d, id](Value, std::uint32_t, SimTime at) {
+    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
+                         d.correct.end();
+    audit::ConsensusAuditor* auditor = correct ? d.auditor.get() : nullptr;
+    p->set_on_decide([&d, id, auditor](Value v, std::uint32_t round,
+                                       SimTime at) {
       d.decide_at[id] = at;
+      if (auditor != nullptr) auditor->on_decide(id, v, round, at);
     });
+    if (auditor != nullptr) {
+      p->set_on_round([id, auditor](std::uint32_t round, SimTime at) {
+        auditor->on_phase(id, round, at);
+      });
+    }
   }
 
   if (plan.role == faultplan::Role::kFailStop) {
@@ -371,6 +491,9 @@ RunResult run_bracha(const ScenarioConfig& cfg,
     const auto offset = static_cast<SimDuration>(start_rng.uniform(
         static_cast<std::uint64_t>(cfg.start_spread) + 1));
     d.start_at[id] = offset;
+    if (!faulty && d.auditor != nullptr) {
+      d.auditor->on_propose(id, proposal_for(cfg.distribution, id), offset);
+    }
     d.sim.schedule_at(offset, [p = procs[id].get(),
                                v = proposal_for(cfg.distribution, id)] {
       p->propose(v);
@@ -400,6 +523,7 @@ RunResult run_abba(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
   d.rep_index = rep_index;
   split_roles(cfg, plan, d);
   setup_medium(cfg, plan, d, root);
+  setup_auditor(cfg, d);
 
   const abba::Config acfg = abba::Config::for_group(cfg.n);
   // Per-repetition on purpose: the dealer's threshold shares combine into
@@ -437,9 +561,19 @@ RunResult run_abba(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
       return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
     };
     d.sent[id] = [p] { return p->stats().messages_sent; };
-    p->set_on_decide([&d, id](Value, std::uint32_t, SimTime at) {
+    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
+                         d.correct.end();
+    audit::ConsensusAuditor* auditor = correct ? d.auditor.get() : nullptr;
+    p->set_on_decide([&d, id, auditor](Value v, std::uint32_t round,
+                                       SimTime at) {
       d.decide_at[id] = at;
+      if (auditor != nullptr) auditor->on_decide(id, v, round, at);
     });
+    if (auditor != nullptr) {
+      p->set_on_round([id, auditor](std::uint32_t round, SimTime at) {
+        auditor->on_phase(id, round, at);
+      });
+    }
   }
 
   if (plan.role == faultplan::Role::kFailStop) {
@@ -463,6 +597,9 @@ RunResult run_abba(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
     const auto offset = static_cast<SimDuration>(start_rng.uniform(
         static_cast<std::uint64_t>(cfg.start_spread) + 1));
     d.start_at[id] = offset;
+    if (!faulty && d.auditor != nullptr) {
+      d.auditor->on_propose(id, proposal_for(cfg.distribution, id), offset);
+    }
     d.sim.schedule_at(offset, [p = procs[id].get(),
                                v = proposal_for(cfg.distribution, id)] {
       p->propose(v);
@@ -488,6 +625,10 @@ std::optional<std::string> validate(const ScenarioConfig& cfg) {
   if (cfg.n < 4) {
     return "group size n must be >= 4 (n = " + std::to_string(cfg.n) +
            " gives f = 0, which degenerates the Byzantine quorums)";
+  }
+  if (cfg.n > 64) {
+    return "group size n must be <= 64 (n = " + std::to_string(cfg.n) +
+           "; the Turquois hot path tracks senders in 64-bit bitmasks)";
   }
   if (cfg.loss_rate < 0.0 || cfg.loss_rate > 1.0) {
     return "loss_rate must be a probability in [0, 1]";
@@ -599,6 +740,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
           std::max(agg.max_round_omissions, s.max_round_omissions);
       ++agg.tracked_reps;
       if (s.liveness_eligible()) ++agg.eligible_reps;
+    }
+    if (run.audit.has_value()) {
+      // Also ahead of the decided check: a violating timed-out repetition is
+      // exactly what the auditor exists to report.
+      if (!result.audit.has_value()) result.audit.emplace();
+      result.audit->merge(*run.audit);
     }
     if (!run.all_correct_decided) {
       ++result.failed_runs;

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -41,6 +42,15 @@ enum class ProposalDist { kUnanimous, kDivergent };
 /// unchanged.
 enum class FaultLoad { kFailureFree, kFailStop, kByzantine };
 
+/// Which outgoing-message strategy Byzantine Turquois processes run. The
+/// paper's evaluation strategy (§7.2) is value inversion; the decided-coin
+/// forge is the insider attack on the unsigned (status, from_coin) header
+/// bits that turquois_fuzz surfaced (see adversary/strategies.hpp). Bracha
+/// and ABBA ignore this knob — their strategies are enums in each baseline.
+enum class TurquoisAttack { kValueInversion, kDecidedCoinForge };
+
+std::string to_string(TurquoisAttack a);
+
 /// The canned plan a FaultLoad aliases: the matching role plus the ambient
 /// channel clause, labeled with the legacy table name.
 [[nodiscard]] faultplan::FaultPlan canned_plan(FaultLoad load);
@@ -62,6 +72,18 @@ struct ScenarioConfig {
   /// (ambient loss applies only through a kAmbient clause) and overrides
   /// `fault_load`.
   std::optional<faultplan::FaultPlan> plan;
+  /// Byzantine strategy for Turquois faulty processes (see TurquoisAttack).
+  TurquoisAttack attack = TurquoisAttack::kValueInversion;
+
+  /// Run the consensus auditor over every repetition (default on). The
+  /// auditor is purely observational — it consumes no randomness and sends
+  /// nothing — so enabling it never changes latencies, counters, or report
+  /// bytes beyond the added "audit" object.
+  bool audit = true;
+  /// When > 0 and the repetition is σ-liveness-eligible, a correct process
+  /// deciding at a phase above this bound is flagged as a liveness
+  /// violation. 0 = deadline-only liveness checking.
+  std::uint64_t audit_phase_bound = 0;
   /// Root seed. Everything a scenario does is a pure function of this seed
   /// (plus the config), including the parallel schedule's pooled output.
   std::uint64_t seed = 1;
@@ -161,6 +183,12 @@ class ScenarioBuilder {
     cfg_.plan = std::move(p);
     return *this;
   }
+  ScenarioBuilder& attack(TurquoisAttack a) { cfg_.attack = a; return *this; }
+  ScenarioBuilder& audit(bool on) { cfg_.audit = on; return *this; }
+  ScenarioBuilder& audit_phase_bound(std::uint64_t bound) {
+    cfg_.audit_phase_bound = bound;
+    return *this;
+  }
   ScenarioBuilder& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
   ScenarioBuilder& repetitions(std::uint32_t reps) {
     cfg_.repetitions = reps;
@@ -217,6 +245,9 @@ struct RunResult {
   net::TcpHost::Stats tcp;           // summed over hosts (baselines only)
   /// Per-round σ accounting; present iff the effective plan tracks σ.
   std::optional<faultplan::SigmaSummary> sigma;
+  /// Consensus-property audit for this repetition; present iff
+  /// ScenarioConfig::audit was set.
+  std::optional<audit::AuditReport> audit;
 };
 
 /// σ accounting pooled over a scenario's repetitions.
@@ -248,6 +279,9 @@ struct ScenarioResult {
   /// (timed-out) repetitions still contribute — a σ-violating stall is the
   /// data point the accounting exists for.
   std::optional<SigmaAggregate> sigma;
+  /// Audit results pooled over every repetition (violating and timed-out
+  /// reps included); present iff ScenarioConfig::audit was set.
+  std::optional<audit::AuditAggregate> audit;
 
   /// Mean pooled latency in milliseconds.
   [[nodiscard]] double mean() const { return latency_ms.mean(); }

@@ -81,6 +81,21 @@ void append_cell(std::string& out, const ReportCell& cell) {
     out += s.liveness_eligible() ? "true" : "false";
     out += "}";
   }
+  if (cell.audit.has_value()) {
+    const audit::AuditAggregate& a = *cell.audit;
+    out += ",\"audit\":{";
+    out += "\"checked_reps\":" + json_u64(a.checked_reps);
+    out += ",\"violating_reps\":" + json_u64(a.violating_reps);
+    out += ",\"violations\":" + json_u64(a.violations);
+    for (std::size_t i = 0; i < audit::kPropertyCount; ++i) {
+      out += ",\"" +
+             std::string(audit::to_string(static_cast<audit::Property>(i))) +
+             "\":" + json_u64(a.by_property[i]);
+    }
+    out += ",\"passed\":";
+    out += a.passed() ? "true" : "false";
+    out += "}";
+  }
   if (!cell.extra.empty()) {
     out += ",\"extra\":{";
     bool first = true;
@@ -108,6 +123,7 @@ ReportCell make_cell(const ScenarioResult& result) {
   cell.latencies_ms = result.latency_ms.samples();
   cell.medium = result.medium_total;
   cell.sigma = result.sigma;
+  cell.audit = result.audit;
   return cell;
 }
 

@@ -55,6 +55,9 @@ struct ReportCell {
   /// σ-bound accounting, present only when the scenario's fault plan tracks
   /// σ (never for the canned loads, keeping their reports byte-identical).
   std::optional<SigmaAggregate> sigma;
+  /// Consensus-property audit, present when the scenario ran the auditor
+  /// (the default; --no-audit / ScenarioConfig::audit = false drops it).
+  std::optional<audit::AuditAggregate> audit;
   /// Experiment-specific scalars (e.g. ablation sweep knobs such as
   /// "loss_rate" or "tick_ms"). std::map so emission order — and therefore
   /// the report bytes — is deterministic.

@@ -232,6 +232,24 @@ std::string inspect_jsonl(std::istream& in) {
             violating == 0 ? "liveness-eligible" : "sigma-violating");
   }
 
+  // Consensus audit, present whenever the harness ran the auditor (the
+  // default). Per-property counters only appear on a violation, so a clean
+  // run prints the two summary lines.
+  const unsigned long long audit_reps = counter("audit.checked_reps");
+  if (audit_reps > 0) {
+    const unsigned long long audit_violations = counter("audit.violations");
+    appendf(out, "\n== audit ==\n");
+    appendf(out, "checked repetitions: %llu, violating: %llu, violations: %llu\n",
+            audit_reps, counter("audit.violating_reps"), audit_violations);
+    for (const char* prop :
+         {"validity", "agreement", "unanimity", "phase_monotonicity",
+          "quorum_sanity", "sigma_liveness"}) {
+      const unsigned long long v = counter(("audit." + std::string(prop)).c_str());
+      if (v > 0) appendf(out, "  %s: %llu\n", prop, v);
+    }
+    appendf(out, "verdict: %s\n", audit_violations == 0 ? "pass" : "FAIL");
+  }
+
   appendf(out, "\n== message complexity ==\n");
   appendf(out, "%8s %11s %8s %13s %16s\n", "process", "broadcasts", "decides",
           "decide_phase", "mean_latency_ms");

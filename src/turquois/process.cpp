@@ -43,6 +43,7 @@ void Process::propose(Value initial) {
   TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPhaseEnter, .process = id_,
                    .phase = phase_);
+  if (on_phase_) on_phase_(phase_, sim_.now());
   broadcast_state();
   // Drain datagrams buffered before the start signal (modeled OS buffer).
   std::vector<std::pair<ProcessId, Bytes>> queued;
@@ -332,7 +333,12 @@ bool Process::apply_decision_certificates() {
     std::size_t count = view_.count_phase_value(seed.phase, seed.value);
     for (const Message& m : pending_) {
       if (m.phase != seed.phase || m.value != seed.value) continue;
-      if (m.sender < 64 && !view_.has(m.sender, m.phase)) {
+      // The bitmask is total: ingest() rejects sender >= cfg_.n and
+      // Config::validate pins n <= 64, so no sender can silently skip the
+      // view-presence check (harness::validate enforces the same ceiling
+      // at the scenario boundary).
+      TURQ_ASSERT_MSG(m.sender < 64, "sender bitmask requires n <= 64");
+      if (!view_.has(m.sender, m.phase)) {
         const std::uint64_t bit = 1ULL << m.sender;
         if ((senders_mask & bit) == 0) {
           senders_mask |= bit;
@@ -393,9 +399,17 @@ bool Process::run_transitions() {
 void Process::adopt(const Message& m) {
   ++stats_.phase_jumps;
   phase_ = m.phase;
-  if (phase_ % 3 == 1 && m.from_coin) {
+  if (phase_ % 3 == 1 && m.from_coin && m.status != Status::kDecided) {
     // Line 12-13: a coin-derived value cannot be trusted from others
-    // (Byzantine coins are not fair) — flip locally instead.
+    // (Byzantine coins are not fair) — flip locally instead. A *decided*
+    // message is exempt: its value is pinned by the decide-phase quorum the
+    // validator demanded (validation.cpp catch-up rule), and re-flipping it
+    // locally while inheriting status = decided below would let this
+    // process decide a fresh coin toss — the opposite value with
+    // probability 1/2, an agreement violation an insider can force by
+    // stamping from_coin onto a decided broadcast (neither flag is covered
+    // by the one-time signature). Found by turquois_fuzz; regression in
+    // tests/turquois_protocol_test.cpp.
     ++stats_.coin_flips;
     value_ = binary_value(rng_.coin());
     from_coin_ = true;
@@ -412,6 +426,7 @@ void Process::adopt(const Message& m) {
   TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPhaseEnter, .process = id_,
                    .phase = phase_, .value = 1);  // value=1: entered by jump
+  if (on_phase_) on_phase_(phase_, sim_.now());
 }
 
 void Process::quorum_transition() {
@@ -461,6 +476,7 @@ void Process::quorum_transition() {
   TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPhaseEnter, .process = id_,
                    .phase = phase_);
+  if (on_phase_) on_phase_(phase_, sim_.now());
 }
 
 std::string Process::explain_pending() const {

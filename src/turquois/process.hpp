@@ -36,6 +36,10 @@ class Process {
  public:
   /// Decision callback: value, the phase at which it was reached, sim time.
   using DecideHandler = std::function<void(Value, Phase, SimTime)>;
+  /// Phase-entry callback: the phase entered (via propose, a quorum
+  /// transition, or a jump) and the sim time. Purely observational — used
+  /// by the consensus auditor; never steers protocol behaviour.
+  using PhaseHandler = std::function<void(Phase, SimTime)>;
   /// Byzantine strategy hook, applied to every outgoing main message before
   /// it is signed. Must keep (phase, value) inside the one-time key domain.
   using Mutator = std::function<void(Message&)>;
@@ -55,6 +59,7 @@ class Process {
   void crash();
 
   void set_on_decide(DecideHandler handler) { on_decide_ = std::move(handler); }
+  void set_on_phase(PhaseHandler handler) { on_phase_ = std::move(handler); }
   void set_mutator(Mutator mutator) { mutator_ = std::move(mutator); }
 
   [[nodiscard]] ProcessId id() const { return id_; }
@@ -63,6 +68,9 @@ class Process {
   [[nodiscard]] Status status() const { return status_; }
   [[nodiscard]] bool decided() const { return decision_.has_value(); }
   [[nodiscard]] Value decision() const { return *decision_; }
+  /// The DECIDE phase whose quorum produced the decision, or 0 when the
+  /// decision was adopted from another process's kDecided message.
+  [[nodiscard]] Phase decide_phase() const { return decide_phase_; }
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] const View& view() const { return view_; }
 
@@ -140,6 +148,7 @@ class Process {
   std::uint32_t repeat_count_ = 0;
 
   DecideHandler on_decide_;
+  PhaseHandler on_phase_;
   Mutator mutator_;
   Stats stats_;
 };

@@ -2,6 +2,32 @@
 
 namespace turq::turquois {
 
+View::View(const View& other)
+    : phases_(other.phases_), total_(other.total_) {
+  if (other.highest_ != nullptr) {
+    highest_ = &phases_.at(other.highest_->phase)
+                    .by_sender.at(other.highest_->sender);
+  }
+}
+
+View& View::operator=(const View& other) {
+  if (this == &other) return *this;
+  phases_ = other.phases_;
+  total_ = other.total_;
+  highest_ = nullptr;
+  if (other.highest_ != nullptr) {
+    highest_ = &phases_.at(other.highest_->phase)
+                    .by_sender.at(other.highest_->sender);
+  }
+  return *this;
+}
+
+void View::clear() {
+  phases_.clear();
+  total_ = 0;
+  highest_ = nullptr;
+}
+
 bool View::insert(const Message& m) {
   PhaseBook& book = phases_[m.phase];
   const auto [it, inserted] = book.by_sender.emplace(m.sender, m);

@@ -20,8 +20,24 @@ namespace turq::turquois {
 
 class View {
  public:
+  View() = default;
+
+  // `highest_` points into a map node of `phases_`. Node-based map storage
+  // makes it stable across every mutation the class performs (insert never
+  // invalidates map iterators/references, and nothing here erases), and a
+  // move transfers the nodes themselves, so the defaulted moves keep the
+  // pointer valid. A memberwise *copy*, however, would leave the new view's
+  // `highest_` aimed at the source's nodes — so copies rebind it explicitly.
+  View(const View& other);
+  View& operator=(const View& other);
+  View(View&&) noexcept = default;
+  View& operator=(View&&) noexcept = default;
+
   /// Inserts a validated message. Returns false on duplicate (sender, phase).
   bool insert(const Message& m);
+
+  /// Drops every message and resets the highest-phase cursor.
+  void clear();
 
   /// True if a message from `sender` at `phase` is already present.
   [[nodiscard]] bool has(ProcessId sender, Phase phase) const;
@@ -35,8 +51,15 @@ class View {
   /// Number of distinct senders with any message at phase >= `phase`.
   [[nodiscard]] std::size_t count_phase_at_least(Phase phase) const;
 
-  /// The majority binary value among messages at `phase` (ties -> kOne,
-  /// a fixed deterministic rule; any fixed rule preserves correctness).
+  /// The majority binary value among messages at `phase`; ties break to
+  /// kOne. The paper (§5, CONVERGE rule) only requires *some* deterministic
+  /// choice among the binary values when neither holds a strict majority —
+  /// the quorum-intersection safety argument never depends on which value a
+  /// tied CONVERGE picks, because a tie implies no (n+f)/2 majority existed.
+  /// kOne is kept (rather than, say, lowest-value or sender-seeded rules)
+  /// because it is the repo's historical behaviour and changing it would
+  /// shift every benchmark byte; the rule is pinned by ViewMajorityTieRule
+  /// in tests/validation_test.cpp.
   [[nodiscard]] Value majority_value(Phase phase) const;
 
   /// A binary value v with count(phase, v) satisfying `pred`, if any.

@@ -1,6 +1,9 @@
 // Property-based tests: randomized inputs against structural invariants.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "net/medium.hpp"
@@ -58,6 +61,142 @@ TEST_P(ViewFuzz, CountsAlwaysConsistent) {
   if (max_phase > 0) {
     ASSERT_NE(view.highest_phase_message(), nullptr);
     EXPECT_EQ(view.highest_phase_message()->phase, max_phase);
+  }
+}
+
+TEST_P(ViewFuzz, WideSendersExtremePhasesAndDecidedMixes) {
+  // Stresses the paths the n<=16 fuzz above never reaches: sender ids
+  // straddling the 64-bit bitmask fast path of count_phase_at_least,
+  // phases at the max_phase end of the range, and kDecided/from_coin
+  // header mixes (which must not affect any count).
+  Rng rng(GetParam());
+  turquois::View view;
+  std::map<std::pair<ProcessId, turquois::Phase>, Value> reference;
+  constexpr turquois::Phase kMaxPhase = 100000;
+
+  for (int i = 0; i < 2000; ++i) {
+    turquois::Message m;
+    m.sender = static_cast<ProcessId>(rng.uniform(128));  // 0..127
+    // Half the inserts cluster at the top of the phase range.
+    m.phase = rng.coin()
+                  ? static_cast<turquois::Phase>(1 + rng.uniform(8))
+                  : static_cast<turquois::Phase>(kMaxPhase - rng.uniform(8));
+    m.value = static_cast<Value>(rng.uniform(3));
+    m.status = rng.coin() ? Status::kDecided : Status::kUndecided;
+    m.from_coin = rng.coin();
+    const bool inserted = view.insert(m);
+    const bool fresh =
+        reference.emplace(std::pair{m.sender, m.phase}, m.value).second;
+    EXPECT_EQ(inserted, fresh);
+  }
+
+  EXPECT_EQ(view.size(), reference.size());
+  for (const turquois::Phase phase :
+       {turquois::Phase{1}, turquois::Phase{8}, kMaxPhase - 7, kMaxPhase}) {
+    std::size_t total = 0;
+    std::size_t per_value[3] = {};
+    for (const auto& [key, v] : reference) {
+      if (key.second != phase) continue;
+      ++total;
+      ++per_value[static_cast<std::size_t>(v)];
+    }
+    EXPECT_EQ(view.count_phase(phase), total) << "phase " << phase;
+    for (int v = 0; v < 3; ++v) {
+      EXPECT_EQ(view.count_phase_value(phase, static_cast<Value>(v)),
+                per_value[v]);
+    }
+  }
+
+  // count_phase_at_least must agree with a reference distinct-sender scan
+  // across both the <64 bitmask path and the >=64 vector fallback.
+  for (const turquois::Phase cutoff :
+       {turquois::Phase{1}, turquois::Phase{5}, kMaxPhase - 7, kMaxPhase}) {
+    std::set<ProcessId> senders;
+    for (const auto& [key, v] : reference) {
+      if (key.second >= cutoff) senders.insert(key.first);
+    }
+    EXPECT_EQ(view.count_phase_at_least(cutoff), senders.size())
+        << "cutoff " << cutoff;
+  }
+}
+
+TEST_P(ViewFuzz, HighestPointerSurvivesCopyMoveClearInterleavings) {
+  // `highest_` points into the view's own map nodes; copies must rebind it
+  // and moves/clears must keep it coherent. Hammer random interleavings of
+  // insert / copy-construct / copy-assign / move / clear and compare the
+  // cursor against a reference recomputation after every step.
+  Rng rng(GetParam());
+  turquois::View view;
+  std::map<std::pair<ProcessId, turquois::Phase>, Value> reference;
+
+  const auto check = [](const turquois::View& v,
+                        const std::map<std::pair<ProcessId, turquois::Phase>,
+                                       Value>& ref) {
+    turquois::Phase max_phase = 0;
+    ProcessId min_sender = 0;
+    for (const auto& [key, value] : ref) {
+      if (key.second > max_phase) {
+        max_phase = key.second;
+        min_sender = key.first;
+      } else if (key.second == max_phase && key.first < min_sender) {
+        min_sender = key.first;
+      }
+    }
+    if (max_phase == 0) {
+      EXPECT_EQ(v.highest_phase_message(), nullptr);
+      return;
+    }
+    ASSERT_NE(v.highest_phase_message(), nullptr);
+    EXPECT_EQ(v.highest_phase_message()->phase, max_phase);
+    EXPECT_EQ(v.highest_phase_message()->sender, min_sender);
+  };
+
+  for (int step = 0; step < 600; ++step) {
+    switch (rng.uniform(10)) {
+      case 0: {  // copy-construct, then mutate the source: the copy's
+                 // cursor must not chase the source's nodes.
+        turquois::View copy(view);
+        auto ref_copy = reference;
+        turquois::Message m;
+        m.sender = static_cast<ProcessId>(rng.uniform(70));
+        m.phase = static_cast<turquois::Phase>(1 + rng.uniform(40));
+        m.value = Value::kOne;
+        view.insert(m);
+        reference.emplace(std::pair{m.sender, m.phase}, m.value);
+        check(copy, ref_copy);
+        view = copy;  // copy-assign back (drops the extra insert)
+        reference = std::move(ref_copy);
+        break;
+      }
+      case 1: {  // move through a temporary
+        turquois::View moved(std::move(view));
+        view = std::move(moved);
+        break;
+      }
+      case 2: {  // self-assignment must be a no-op
+        turquois::View& self = view;
+        view = self;
+        break;
+      }
+      case 3: {
+        if (rng.uniform(4) == 0) {  // occasional full reset
+          view.clear();
+          reference.clear();
+        }
+        break;
+      }
+      default: {  // plain insert (most common op)
+        turquois::Message m;
+        m.sender = static_cast<ProcessId>(rng.uniform(70));
+        m.phase = static_cast<turquois::Phase>(1 + rng.uniform(40));
+        m.value = static_cast<Value>(rng.uniform(3));
+        m.status = rng.coin() ? Status::kDecided : Status::kUndecided;
+        view.insert(m);
+        reference.emplace(std::pair{m.sender, m.phase}, m.value);
+        break;
+      }
+    }
+    check(view, reference);
   }
 }
 

@@ -62,6 +62,50 @@ TEST(View, MajorityValueWithTieBreak) {
   EXPECT_EQ(v.majority_value(1), Value::kOne);  // deterministic tie-break
 }
 
+TEST(View, ViewMajorityTieRule) {
+  // Pins the documented tie rule (view.hpp): majority_value breaks binary
+  // ties — including the empty phase — toward kOne. The CONVERGE rule only
+  // needs *some* deterministic choice here (a tie implies no (n+f)/2
+  // majority existed), but changing the pick would shift benchmark bytes.
+  View v;
+  EXPECT_EQ(v.majority_value(1), Value::kOne);  // empty phase: 0-0 tie
+  fill(v, 1, Value::kZero, 2, 0);
+  fill(v, 1, Value::kOne, 2, 2);
+  EXPECT_EQ(v.majority_value(1), Value::kOne);  // 2-2 tie
+  // kBottom votes never tip the binary majority.
+  fill(v, 1, Value::kBottom, 5, 4);
+  EXPECT_EQ(v.majority_value(1), Value::kOne);
+  fill(v, 1, Value::kZero, 1, 9);  // 3-2: strict zero majority wins
+  EXPECT_EQ(v.majority_value(1), Value::kZero);
+}
+
+TEST(View, CopyRebindsHighestAndClearResets) {
+  View v;
+  v.insert(msg(5, 9, Value::kOne));
+  v.insert(msg(2, 4, Value::kZero));
+
+  View copy(v);
+  v.clear();  // the copy's highest cursor must not dangle into `v`
+  EXPECT_EQ(v.highest_phase_message(), nullptr);
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.count_phase(9), 0u);
+  ASSERT_NE(copy.highest_phase_message(), nullptr);
+  EXPECT_EQ(copy.highest_phase_message()->phase, 9u);
+  EXPECT_EQ(copy.highest_phase_message()->sender, 5u);
+  EXPECT_EQ(copy.size(), 2u);
+
+  View assigned;
+  assigned.insert(msg(1, 1, Value::kZero));
+  assigned = copy;
+  copy.clear();
+  ASSERT_NE(assigned.highest_phase_message(), nullptr);
+  EXPECT_EQ(assigned.highest_phase_message()->phase, 9u);
+  // The view stays usable after clear(): inserts restart the cursor.
+  copy.insert(msg(7, 3, Value::kOne));
+  ASSERT_NE(copy.highest_phase_message(), nullptr);
+  EXPECT_EQ(copy.highest_phase_message()->sender, 7u);
+}
+
 TEST(View, HighestPhaseMessage) {
   View v;
   EXPECT_EQ(v.highest_phase_message(), nullptr);

@@ -64,6 +64,7 @@ echo "== README flag check (build dir: $build_dir) =="
 binaries=(
   "$build_dir/tools/turquois_sim"
   "$build_dir/tools/turquois_campaign"
+  "$build_dir/tools/turquois_fuzz"
   "$build_dir/tools/trace_inspect"
   "$build_dir/bench/table1_failure_free"
   "$build_dir/bench/ablation_sigma"

@@ -65,7 +65,10 @@ namespace {
       "                                      BENCH_*.json files (default .)\n"
       "  --quick                             smoke preset: 2 reps, 30 s\n"
       "                                      deadline (overrides --reps and\n"
-      "                                      --timeout)\n",
+      "                                      --timeout)\n"
+      "  --no-audit                          skip the consensus-property\n"
+      "                                      auditor (on by default; audit\n"
+      "                                      violations fail the campaign)\n",
       argv0, plans.c_str());
   std::exit(2);
 }
@@ -111,6 +114,7 @@ struct CellOutcome {
   std::uint32_t failed_runs = 0;
   std::uint32_t safety_violations = 0;
   std::optional<SigmaAggregate> sigma;
+  std::optional<audit::AuditAggregate> audit;
 };
 
 }  // namespace
@@ -127,6 +131,7 @@ int main(int argc, char** argv) {
   std::uint32_t jobs = 1;
   std::string out_dir = ".";
   bool quick = false;
+  bool audit = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -174,6 +179,8 @@ int main(int argc, char** argv) {
       out_dir = next();
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--no-audit") {
+      audit = false;
     } else {
       usage(argv[0]);
     }
@@ -217,6 +224,7 @@ int main(int argc, char** argv) {
                                          .jobs(jobs)
                                          .loss(loss_rate)
                                          .timeout(timeout)
+                                         .audit(audit)
                                          .build();
           const ScenarioResult r = run_scenario(cfg);
           const double wall = std::chrono::duration<double>(
@@ -240,6 +248,7 @@ int main(int argc, char** argv) {
           cell.failed_runs = r.failed_runs;
           cell.safety_violations = r.safety_violations;
           cell.sigma = r.sigma;
+          cell.audit = r.audit;
         } catch (const std::exception& e) {
           // Isolate the cell: record the failure and keep sweeping.
           cell.failed = true;
@@ -250,8 +259,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\n%-34s %12s %8s %8s %s\n", "cell", "mean_ms", "samples",
-              "failed", "sigma");
+  std::printf("\n%-34s %12s %8s %8s %8s %s\n", "cell", "mean_ms", "samples",
+              "failed", "audit", "sigma");
   bool any_failed = false;
   for (const CellOutcome& cell : outcomes) {
     if (cell.failed) {
@@ -267,12 +276,24 @@ int main(int argc, char** argv) {
                                                : "sigma-violating") +
               ", bound " + std::to_string(cell.sigma->bound) + ")";
     }
-    std::printf("%-34s %12.2f %8zu %8u %s\n", cell.label.c_str(), cell.mean_ms,
-                cell.samples, cell.failed_runs, sigma.c_str());
+    std::string audit_col = "-";
+    if (cell.audit.has_value()) {
+      audit_col = cell.audit->passed() ? "pass" : "FAIL";
+    }
+    std::printf("%-34s %12.2f %8zu %8u %8s %s\n", cell.label.c_str(),
+                cell.mean_ms, cell.samples, cell.failed_runs,
+                audit_col.c_str(), sigma.c_str());
     if (cell.safety_violations > 0) {
       any_failed = true;
       std::printf("%-34s SAFETY VIOLATIONS: %u\n", cell.label.c_str(),
                   cell.safety_violations);
+    }
+    if (cell.audit.has_value() && !cell.audit->passed()) {
+      any_failed = true;
+      std::printf("%-34s AUDIT VIOLATIONS: %llu over %llu reps\n",
+                  cell.label.c_str(),
+                  static_cast<unsigned long long>(cell.audit->violations),
+                  static_cast<unsigned long long>(cell.audit->violating_reps));
     }
   }
   std::printf("\n%zu cells, reports in %s/\n", outcomes.size(),
