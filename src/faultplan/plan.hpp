@@ -131,6 +131,18 @@ struct FaultPlan {
   /// True when build() will attach a σ meter.
   [[nodiscard]] bool wants_sigma() const;
 
+  /// A copy of this plan with σ tracking forced on. The harness applies
+  /// this to every spatial scenario: reachability-induced omissions (the
+  /// medium's `unreachable` pairs) are fed into the σ accountant alongside
+  /// injected ones, so a transient partition exceeds the per-round budget
+  /// and the auditor correctly treats the stalled run as liveness-
+  /// ineligible instead of flagging a violation.
+  [[nodiscard]] FaultPlan with_sigma() const {
+    FaultPlan copy = *this;
+    copy.track_sigma = true;
+    return copy;
+  }
+
   /// Human-readable reason the plan cannot run in a group of size n, or
   /// std::nullopt when it is well-formed. harness::validate() forwards this.
   [[nodiscard]] std::optional<std::string> validate(std::uint32_t n) const;

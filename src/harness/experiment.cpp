@@ -94,6 +94,8 @@ struct Deployment {
   sim::Simulator sim;
   std::uint64_t rep_index = 0;
   std::unique_ptr<net::Medium> medium;
+  std::unique_ptr<spatial::Topology> topology;  // set iff spatial.active()
+  std::unique_ptr<spatial::RelayFabric> relay;  // Turquois multi-hop only
   faultplan::BuiltPlan faults;  // injector tree + optional σ meter
   std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
   std::vector<ProcessId> correct;   // processes expected to decide
@@ -168,8 +170,22 @@ void setup_medium(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
   ctx.round_duration =
       cfg.tick_interval * std::max<SimDuration>(SimDuration{1}, ticks_per_round);
   ctx.root = root;  // derive()d from only; stream-neutral for the rest
-  d.faults = faultplan::build(plan, ctx);
+  // Spatial scenarios force σ tracking: reachability-induced omissions
+  // must count against the per-round budget so a transient partition makes
+  // the run liveness-ineligible instead of an auditor violation.
+  d.faults = cfg.spatial.active()
+                 ? faultplan::build(plan.with_sigma(), ctx)
+                 : faultplan::build(plan, ctx);
   d.medium->set_fault_injector(d.faults.injector.get());
+  if (cfg.spatial.active()) {
+    d.topology = std::make_unique<spatial::Topology>(
+        cfg.spatial, cfg.n, root.derive("spatial", 0));
+    d.medium->set_spatial(d.topology.get());
+    if (d.faults.sigma != nullptr) {
+      d.medium->set_unreachable_hook(
+          [s = d.faults.sigma](SimTime at) { s->record_omission(at); });
+    }
+  }
 }
 
 RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
@@ -223,6 +239,21 @@ RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
   if (d.faults.sigma != nullptr) {
     result.sigma = d.faults.sigma->summary();
   }
+  if (d.topology != nullptr) {
+    // Sample connectivity up to the end of the run so a quiet tail (e.g.
+    // everyone decided, no frames moving) still contributes samples.
+    d.topology->advance(d.sim.now());
+    spatial::SpatialStats sp = d.topology->stats();
+    if (d.relay != nullptr) {
+      const spatial::RelayFabric::Stats rs = d.relay->stats();
+      sp.relay_origin_frames = rs.origin_frames;
+      sp.relay_forwards = rs.forwards;
+      sp.relay_suppressed = rs.suppressed;
+      sp.relay_duplicates = rs.duplicates;
+      sp.relay_deliveries = rs.deliveries;
+    }
+    result.spatial = sp;
+  }
 
   if (d.auditor != nullptr) {
     if (d.audit_finalize) d.audit_finalize(*d.auditor);
@@ -232,6 +263,8 @@ RunResult collect(const ScenarioConfig& cfg, Deployment& d) {
 #if TURQ_TRACE_ENABLED
   if (trace::Tracer* t = trace::current()) {
     t->metrics().merge(d.medium->metrics());
+    if (d.topology != nullptr) t->metrics().merge(d.topology->metrics());
+    if (d.relay != nullptr) t->metrics().merge(d.relay->metrics());
     t->metrics().counter("app.messages").add(result.app_messages);
     if (result.sigma.has_value()) {
       const faultplan::SigmaSummary& s = *result.sigma;
@@ -295,10 +328,20 @@ RunResult run_turquois(const ScenarioConfig& cfg,
   d.start_at.resize(cfg.n, 0);
   d.decide_at.resize(cfg.n);
 
+  // Single-hop endpoints sit on the medium directly; multi-hop ones route
+  // through the gossip relay so every state datagram still reaches the
+  // whole group. The protocol code is identical either way.
+  net::BroadcastService* bus = d.medium.get();
+  if (cfg.spatial.active() && cfg.relay_enabled) {
+    d.relay = std::make_unique<spatial::RelayFabric>(
+        d.sim, *d.medium, cfg.relay, cfg.n, root.derive("relay", 0));
+    bus = d.relay.get();
+  }
+
   for (ProcessId id = 0; id < cfg.n; ++id) {
     d.cpus.push_back(std::make_unique<sim::VirtualCpu>(d.sim));
     endpoints.push_back(
-        std::make_unique<net::BroadcastEndpoint>(d.sim, *d.medium, id));
+        std::make_unique<net::BroadcastEndpoint>(d.sim, *bus, id));
     procs.push_back(std::make_unique<turquois::Process>(
         d.sim, *endpoints.back(), *d.cpus.back(), tcfg, keys, id,
         root.derive("proc", id), cfg.costs));
@@ -638,6 +681,37 @@ std::optional<std::string> validate(const ScenarioConfig& cfg) {
       return "fault plan: " + *reason;
     }
   }
+  if (cfg.spatial.topology_set()) {
+    const spatial::SpatialConfig& sp = cfg.spatial;
+    if (!(sp.radius_m > 0.0)) {
+      return "spatial: radius must be > 0 (use radius=inf for single-hop)";
+    }
+    if (!(sp.area_m > 0.0)) return "spatial: area side must be > 0";
+    if (sp.cs_factor < 1.0) {
+      return "spatial: carrier-sense factor must be >= 1 (sensing range "
+             "cannot be shorter than delivery range)";
+    }
+    if (sp.fading_sigma_db < 0.0) {
+      return "spatial: fading sigma must be >= 0 dB";
+    }
+    if (sp.mobility == spatial::Mobility::kWaypoint) {
+      if (!(sp.speed_min_mps > 0.0) || sp.speed_max_mps < sp.speed_min_mps) {
+        return "spatial: waypoint speeds need 0 < vmin <= vmax";
+      }
+    }
+    if (sp.sample_interval == 0) {
+      return "spatial: connectivity sample interval must be > 0";
+    }
+    if (cfg.relay_enabled) {
+      if (cfg.relay.counter_threshold == 0) {
+        return "relay: counter threshold must be >= 1";
+      }
+      if (cfg.relay.assess_max < cfg.relay.assess_min) {
+        return "relay: assessment window needs assess_min <= assess_max";
+      }
+      if (cfg.relay.max_hops == 0) return "relay: max hops must be >= 1";
+    }
+  }
   return std::nullopt;
 }
 
@@ -762,6 +836,24 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     result.medium_total.frames_collided += run.medium.frames_collided;
     result.medium_total.bytes_on_air += run.medium.bytes_on_air;
     result.medium_total.airtime += run.medium.airtime;
+    result.medium_total.unreachable += run.medium.unreachable;
+    result.medium_total.hidden_terminal += run.medium.hidden_terminal;
+    if (run.spatial.has_value()) {
+      if (!result.spatial_total.has_value()) result.spatial_total.emplace();
+      spatial::SpatialStats& agg = *result.spatial_total;
+      const spatial::SpatialStats& s = *run.spatial;
+      agg.samples += s.samples;
+      agg.partition_events += s.partition_events;
+      agg.partitioned_samples += s.partitioned_samples;
+      agg.path_hops_sum += s.path_hops_sum;
+      agg.path_pairs += s.path_pairs;
+      agg.cs_domains_sum += s.cs_domains_sum;
+      agg.relay_origin_frames += s.relay_origin_frames;
+      agg.relay_forwards += s.relay_forwards;
+      agg.relay_suppressed += s.relay_suppressed;
+      agg.relay_duplicates += s.relay_duplicates;
+      agg.relay_deliveries += s.relay_deliveries;
+    }
   }
   return result;
 }

@@ -28,6 +28,8 @@
 #include "net/fault_injector.hpp"
 #include "net/medium.hpp"
 #include "net/reliable_channel.hpp"
+#include "spatial/relay.hpp"
+#include "spatial/topology.hpp"
 #include "turquois/key_infra.hpp"
 
 namespace turq::harness {
@@ -122,6 +124,20 @@ struct ScenarioConfig {
   net::MediumConfig medium;
   crypto::CostModel costs;
 
+  /// Spatial topology/mobility. The default (single-hop placement, or any
+  /// placement with radius=inf) installs no spatial layer at all and runs
+  /// the legacy everyone-hears-everyone medium byte-identically. When
+  /// spatial.active(), σ tracking is forced on (plan.with_sigma()) and the
+  /// medium's reachability losses feed the σ accountant.
+  spatial::SpatialConfig spatial;
+  /// Gossip relay knobs, used only when `spatial.active()` and
+  /// `relay_enabled` (Turquois's broadcast endpoints route through a
+  /// spatial::RelayFabric so multi-hop groups still see every state).
+  /// The TCP baselines keep direct unicast either way — out of direct
+  /// range their segments are simply lost (counted `unreachable`).
+  spatial::RelayConfig relay;
+  bool relay_enabled = true;
+
   /// Reliable-channel knobs for the baselines (authentication is forced on
   /// for Bracha and off for ABBA regardless of this field).
   net::TcpConfig tcp;
@@ -197,6 +213,11 @@ class ScenarioBuilder {
   ScenarioBuilder& jobs(std::uint32_t j) { cfg_.jobs = j; return *this; }
   ScenarioBuilder& loss(double rate) { cfg_.loss_rate = rate; return *this; }
   ScenarioBuilder& bursts(bool on) { cfg_.bursty_loss = on; return *this; }
+  ScenarioBuilder& topology(spatial::SpatialConfig sp) {
+    cfg_.spatial = sp;
+    return *this;
+  }
+  ScenarioBuilder& relay(bool on) { cfg_.relay_enabled = on; return *this; }
   ScenarioBuilder& tick(SimDuration interval) {
     cfg_.tick_interval = interval;
     return *this;
@@ -243,11 +264,14 @@ struct RunResult {
   net::MediumStats medium;           // channel counters for this repetition
   std::uint64_t app_messages = 0;    // protocol-level point-to-point sends
   net::TcpHost::Stats tcp;           // summed over hosts (baselines only)
-  /// Per-round σ accounting; present iff the effective plan tracks σ.
+  /// Per-round σ accounting; present iff the effective plan tracks σ
+  /// (always the case for spatial scenarios).
   std::optional<faultplan::SigmaSummary> sigma;
   /// Consensus-property audit for this repetition; present iff
   /// ScenarioConfig::audit was set.
   std::optional<audit::AuditReport> audit;
+  /// Topology/relay counters; present iff the scenario is spatial.
+  std::optional<spatial::SpatialStats> spatial;
 };
 
 /// σ accounting pooled over a scenario's repetitions.
@@ -282,6 +306,10 @@ struct ScenarioResult {
   /// Audit results pooled over every repetition (violating and timed-out
   /// reps included); present iff ScenarioConfig::audit was set.
   std::optional<audit::AuditAggregate> audit;
+  /// Spatial counters summed over every repetition (timed-out ones
+  /// included — partition metrics of a stalled run are the point);
+  /// present iff the scenario is spatial.
+  std::optional<spatial::SpatialStats> spatial_total;
 
   /// Mean pooled latency in milliseconds.
   [[nodiscard]] double mean() const { return latency_ms.mean(); }

@@ -65,7 +65,29 @@ void append_cell(std::string& out, const ReportCell& cell) {
   out += ",\"bytes_on_air\":" + json_u64(cell.medium.bytes_on_air);
   out += ",\"airtime_ms\":" +
          json_double(to_milliseconds(cell.medium.airtime));
+  if (cell.spatial.has_value()) {
+    // Geometry-induced loss classes only exist under a topology; gating them
+    // keeps single-hop reports byte-identical to pre-spatial baselines.
+    out += ",\"unreachable\":" + json_u64(cell.medium.unreachable);
+    out += ",\"hidden_terminal\":" + json_u64(cell.medium.hidden_terminal);
+  }
   out += "}";
+  if (cell.spatial.has_value()) {
+    const spatial::SpatialStats& sp = *cell.spatial;
+    out += ",\"spatial\":{";
+    out += "\"samples\":" + json_u64(sp.samples);
+    out += ",\"partition_events\":" + json_u64(sp.partition_events);
+    out += ",\"partitioned_samples\":" + json_u64(sp.partitioned_samples);
+    out += ",\"path_hops_sum\":" + json_u64(sp.path_hops_sum);
+    out += ",\"path_pairs\":" + json_u64(sp.path_pairs);
+    out += ",\"cs_domains_sum\":" + json_u64(sp.cs_domains_sum);
+    out += ",\"relay_origin_frames\":" + json_u64(sp.relay_origin_frames);
+    out += ",\"relay_forwards\":" + json_u64(sp.relay_forwards);
+    out += ",\"relay_suppressed\":" + json_u64(sp.relay_suppressed);
+    out += ",\"relay_duplicates\":" + json_u64(sp.relay_duplicates);
+    out += ",\"relay_deliveries\":" + json_u64(sp.relay_deliveries);
+    out += "}";
+  }
   if (cell.sigma.has_value()) {
     const SigmaAggregate& s = *cell.sigma;
     out += ",\"sigma\":{";
@@ -124,6 +146,7 @@ ReportCell make_cell(const ScenarioResult& result) {
   cell.medium = result.medium_total;
   cell.sigma = result.sigma;
   cell.audit = result.audit;
+  cell.spatial = result.spatial_total;
   return cell;
 }
 

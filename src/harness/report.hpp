@@ -58,6 +58,11 @@ struct ReportCell {
   /// Consensus-property audit, present when the scenario ran the auditor
   /// (the default; --no-audit / ScenarioConfig::audit = false drops it).
   std::optional<audit::AuditAggregate> audit;
+  /// Multi-hop topology/relay counters, present only when the scenario ran
+  /// under a spatial topology. Single-hop reports omit this object — and the
+  /// medium's `unreachable`/`hidden_terminal` fields — so pre-spatial
+  /// baselines stay byte-identical.
+  std::optional<spatial::SpatialStats> spatial;
   /// Experiment-specific scalars (e.g. ablation sweep knobs such as
   /// "loss_rate" or "tick_ms"). std::map so emission order — and therefore
   /// the report bytes — is deterministic.

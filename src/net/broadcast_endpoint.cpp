@@ -2,10 +2,10 @@
 
 namespace turq::net {
 
-BroadcastEndpoint::BroadcastEndpoint(sim::Simulator& simulator, Medium& medium,
-                                     ProcessId self)
-    : sim_(simulator), medium_(medium), self_(self) {
-  medium_.attach(self_, [this](ProcessId src, BytesView frame, bool bc) {
+BroadcastEndpoint::BroadcastEndpoint(sim::Simulator& simulator,
+                                     BroadcastService& service, ProcessId self)
+    : sim_(simulator), service_(service), self_(self) {
+  service_.attach(self_, [this](ProcessId src, BytesView frame, bool bc) {
     if (!open_ || !bc || !handler_) return;
     if (frame.size() < kUdpIpOverhead) return;  // malformed frame
     // Strip the modeled UDP/IP overhead (padded at the tail on send); a
@@ -15,7 +15,7 @@ BroadcastEndpoint::BroadcastEndpoint(sim::Simulator& simulator, Medium& medium,
 }
 
 BroadcastEndpoint::~BroadcastEndpoint() {
-  if (open_) medium_.detach(self_);
+  if (open_) service_.detach(self_);
 }
 
 void BroadcastEndpoint::send(Bytes payload) {
@@ -32,13 +32,13 @@ void BroadcastEndpoint::send(Bytes payload) {
   sim_.schedule(0, [this, frame, payload_size] {
     if (open_ && handler_) handler_(self_, BytesView(*frame).first(payload_size));
   });
-  medium_.send_broadcast(self_, std::move(frame));
+  service_.broadcast(self_, std::move(frame), /*replace_queued=*/true);
 }
 
 void BroadcastEndpoint::close() {
   if (!open_) return;
   open_ = false;
-  medium_.detach(self_);
+  service_.detach(self_);
 }
 
 }  // namespace turq::net

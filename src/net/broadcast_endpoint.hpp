@@ -1,16 +1,19 @@
-// UDP-broadcast-style endpoint over the shared medium.
+// UDP-broadcast-style endpoint over an abstract broadcast service.
 //
 // This is Turquois's transport: fire-and-forget datagrams with UDP/IP
 // overhead, delivered to every attached node subject to collisions and
 // injected omissions. The sender also delivers to itself via loopback
 // (the paper's broadcast(m) reaches every process *including* the sender).
+// The service below is usually the Medium itself (single-hop); under a
+// spatial topology it is a spatial::RelayFabric, and the protocol above
+// is none the wiser — the abstract-MAC layering.
 #pragma once
 
 #include <functional>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
-#include "net/medium.hpp"
+#include "net/broadcast_service.hpp"
 #include "sim/simulator.hpp"
 
 namespace turq::net {
@@ -23,7 +26,8 @@ class BroadcastEndpoint {
 
   static constexpr std::size_t kUdpIpOverhead = 28;  // IPv4 + UDP headers
 
-  BroadcastEndpoint(sim::Simulator& simulator, Medium& medium, ProcessId self);
+  BroadcastEndpoint(sim::Simulator& simulator, BroadcastService& service,
+                    ProcessId self);
   ~BroadcastEndpoint();
 
   BroadcastEndpoint(const BroadcastEndpoint&) = delete;
@@ -42,7 +46,7 @@ class BroadcastEndpoint {
 
  private:
   sim::Simulator& sim_;
-  Medium& medium_;
+  BroadcastService& service_;
   ProcessId self_;
   bool open_ = true;
   std::uint64_t sent_ = 0;

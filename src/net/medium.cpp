@@ -19,6 +19,8 @@ Medium::Medium(sim::Simulator& simulator, MediumConfig config, Rng rng)
   ctr_.unicast_drops = &metrics_.counter("medium.unicast_drops");
   ctr_.deliveries = &metrics_.counter("medium.deliveries");
   ctr_.omissions = &metrics_.counter("medium.omissions");
+  ctr_.unreachable = &metrics_.counter("medium.unreachable");
+  ctr_.hidden_terminal = &metrics_.counter("medium.hidden_terminal");
   ctr_.bytes_on_air = &metrics_.counter("medium.bytes_on_air");
   ctr_.airtime_ns = &metrics_.counter("medium.airtime_ns");
   ctr_.backoff_slots = &metrics_.histogram(
@@ -37,6 +39,8 @@ MediumStats Medium::stats() const {
       .unicast_drops = ctr_.unicast_drops->value(),
       .deliveries = ctr_.deliveries->value(),
       .omissions = ctr_.omissions->value(),
+      .unreachable = ctr_.unreachable->value(),
+      .hidden_terminal = ctr_.hidden_terminal->value(),
       .bytes_on_air = ctr_.bytes_on_air->value(),
       .airtime = static_cast<SimDuration>(ctr_.airtime_ns->value()),
   };
@@ -205,8 +209,28 @@ void Medium::resolve_contention() {
   }
 
   std::vector<ProcessId> winners;
-  for (const auto& [id, slot] : draws) {
-    if (slot == min_slot) winners.push_back(id);
+  if (spatial_ == nullptr) {
+    for (const auto& [id, slot] : draws) {
+      if (slot == min_slot) winners.push_back(id);
+    }
+  } else {
+    // Per-carrier-sense-domain minima: a contender defers only to a
+    // strictly smaller draw it can actually sense. Contenders hidden from
+    // every smaller draw transmit concurrently — that is what creates the
+    // hidden-terminal overlaps finish_overlap() resolves per receiver.
+    // With an infinite sense range this reduces exactly to the global
+    // min-slot tie set above.
+    for (const auto& [id, slot] : draws) {
+      bool deferred = false;
+      for (const auto& [other, other_slot] : draws) {
+        if (other != id && other_slot < slot &&
+            spatial_->carrier_sense(id, other, sim_.now())) {
+          deferred = true;
+          break;
+        }
+      }
+      if (!deferred) winners.push_back(id);
+    }
   }
 
   // Winners leave the contention set for the duration of their transmission.
@@ -240,7 +264,10 @@ void Medium::resolve_contention() {
     busy_until_ = start + air;
     sim_.schedule_at(busy_until_, [this, winner] { finish_single(winner); });
   } else {
-    // All tied frames overlap and are corrupted at every receiver.
+    // Single-hop: all tied frames overlap and are corrupted at every
+    // receiver. Spatial: an overlap corrupts only receivers in range of
+    // two or more of the transmissions; finish_overlap() resolves capture
+    // per receiver and charges frames_collided there.
     ctr_.collisions->add();
     SimDuration longest = 0;
     for (const ProcessId id : winners) {
@@ -257,7 +284,7 @@ void Medium::resolve_contention() {
                        .frame = frame.trace_id,
                        .bytes = static_cast<std::uint32_t>(frame.size()));
       longest = std::max(longest, air);
-      ctr_.frames_collided->add();
+      if (spatial_ == nullptr) ctr_.frames_collided->add();
     }
     ctr_.airtime_ns->add(static_cast<std::uint64_t>(longest));
     busy_until_ = start + longest;
@@ -265,6 +292,16 @@ void Medium::resolve_contention() {
       finish_collision(winners);
     });
   }
+}
+
+void Medium::note_unreachable(const Frame& frame, ProcessId receiver) {
+  ctr_.unreachable->add();
+  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
+                   .kind = trace::Kind::kFrameUnreachable,
+                   .process = frame.src,
+                   .value = static_cast<std::int64_t>(receiver),
+                   .frame = frame.trace_id);
+  if (unreachable_hook_) unreachable_hook_(sim_.now());
 }
 
 void Medium::deliver(const Frame& frame) {
@@ -275,6 +312,14 @@ void Medium::deliver(const Frame& frame) {
     if (!node.attached) continue;
     if (id == frame.src) continue;
     if (!frame.is_broadcast() && id != frame.dst) continue;
+    // Reachability gates the fault draw: an out-of-range receiver consumes
+    // no injector randomness, and the loss lands in `unreachable`, not
+    // `omissions` — injected and geometric losses stay separable for σ.
+    if (spatial_ != nullptr &&
+        !spatial_->reachable(frame.src, id, sim_.now())) {
+      note_unreachable(frame, id);
+      continue;
+    }
     if (faults_->drop(frame.src, id, sim_.now(), frame.size())) {
       ctr_.omissions->add();
       TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
@@ -316,10 +361,16 @@ void Medium::finish_single(ProcessId winner) {
 
   ctr_.unicast_frames->add();
   // The data frame is subject to injected omission at the destination; the
-  // MAC ACK can also be lost on the way back.
+  // MAC ACK can also be lost on the way back. Spatially, unicast has no
+  // relay: the destination must be in direct range (multi-hop runs route
+  // broadcast traffic through spatial::RelayFabric instead).
   NodeState* dst = node_of(frame.dst);
+  const bool in_range =
+      dst == nullptr || spatial_ == nullptr ||
+      spatial_->reachable(frame.src, frame.dst, sim_.now());
+  if (dst != nullptr && !in_range) note_unreachable(frame, frame.dst);
   const bool data_ok =
-      dst != nullptr &&
+      dst != nullptr && in_range &&
       !faults_->drop(frame.src, frame.dst, sim_.now(), frame.size());
 
   if (data_ok) {
@@ -334,7 +385,7 @@ void Medium::finish_single(ProcessId winner) {
                       payload = frame.payload] {
                        (*handler)(src, *payload, false);
                      });
-  } else if (dst != nullptr) {
+  } else if (dst != nullptr && in_range) {
     ctr_.omissions->add();
     TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kMedium,
                      .kind = trace::Kind::kFrameOmitted, .process = frame.src,
@@ -344,6 +395,8 @@ void Medium::finish_single(ProcessId winner) {
 
   const bool ack_ok =
       data_ok &&
+      (spatial_ == nullptr ||
+       spatial_->reachable(frame.dst, frame.src, sim_.now())) &&
       !faults_->drop(frame.dst, frame.src, sim_.now(), config_.ack_bytes);
   if (data_ok) {
     // ACK occupies the channel after SIFS whether or not the sender hears it.
@@ -361,6 +414,10 @@ void Medium::finish_single(ProcessId winner) {
 }
 
 void Medium::finish_collision(std::vector<ProcessId> winners) {
+  if (spatial_ != nullptr) {
+    finish_overlap(winners);
+    return;
+  }
   for (const ProcessId id : winners) {
     NodeState* node = node_of(id);
     if (node == nullptr) continue;
@@ -375,6 +432,116 @@ void Medium::finish_collision(std::vector<ProcessId> winners) {
       complete_frame(id, false);
     } else {
       ctr_.unicast_frames->add();
+      retry_or_drop(id);
+    }
+  }
+  maybe_schedule_resolution();
+}
+
+void Medium::finish_overlap(const std::vector<ProcessId>& winners) {
+  // Spatial resolution of concurrent transmissions: each receiver decodes
+  // iff exactly one of the overlapping frames is in its range — capture at
+  // two or more corrupts everything it hears. This is where the
+  // hidden-terminal loss materializes: the senders could not sense each
+  // other, but their frames still overlap at the receivers between them.
+  const SimTime now = sim_.now();
+  std::vector<ProcessId> live;
+  for (const ProcessId id : winners) {
+    if (node_of(id) != nullptr) live.push_back(id);  // crashed mid-air: gone
+  }
+  std::vector<std::uint8_t> corrupted_any(live.size(), 0);
+  std::vector<std::uint8_t> unicast_data_ok(live.size(), 0);
+  std::vector<std::size_t> heard;
+  for (ProcessId r = 0; r < nodes_.size(); ++r) {
+    NodeState& node = nodes_[r];
+    if (!node.attached) continue;
+    if (std::find(live.begin(), live.end(), r) != live.end()) {
+      continue;  // half-duplex: a transmitting node hears nothing
+    }
+    heard.clear();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (spatial_->reachable(live[i], r, now)) heard.push_back(i);
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      TURQ_ASSERT(!nodes_[live[i]].queue.empty());
+      const Frame& frame = nodes_[live[i]].queue.front();
+      const bool wants = frame.is_broadcast() || frame.dst == r;
+      if (!wants) continue;  // overheard unicast still interferes below
+      const bool in_range =
+          std::find(heard.begin(), heard.end(), i) != heard.end();
+      if (!in_range) {
+        note_unreachable(frame, r);
+        continue;
+      }
+      if (heard.size() >= 2) {
+        // Corrupted by overlap. Hidden-terminal when some interferer was
+        // out of sense range of this frame's sender; otherwise it is a
+        // plain same-slot collision.
+        corrupted_any[i] = 1;
+        bool hidden = false;
+        for (const std::size_t j : heard) {
+          if (j != i && !spatial_->carrier_sense(live[i], live[j], now)) {
+            hidden = true;
+            break;
+          }
+        }
+        if (hidden) ctr_.hidden_terminal->add();
+        TURQ_TRACE_EVENT(.at = now, .category = trace::Category::kMedium,
+                         .kind = trace::Kind::kFrameCollided,
+                         .process = live[i], .phase = hidden ? 2u : 0u,
+                         .value = static_cast<std::int64_t>(r),
+                         .frame = frame.trace_id);
+        continue;
+      }
+      if (faults_->drop(frame.src, r, now, frame.size())) {
+        ctr_.omissions->add();
+        TURQ_TRACE_EVENT(.at = now, .category = trace::Category::kMedium,
+                         .kind = trace::Kind::kFrameOmitted,
+                         .process = frame.src,
+                         .value = static_cast<std::int64_t>(r),
+                         .frame = frame.trace_id);
+        continue;
+      }
+      ctr_.deliveries->add();
+      TURQ_TRACE_EVENT(.at = now, .category = trace::Category::kMedium,
+                       .kind = trace::Kind::kFrameDelivered,
+                       .process = frame.src,
+                       .value = static_cast<std::int64_t>(r),
+                       .frame = frame.trace_id,
+                       .bytes = static_cast<std::uint32_t>(frame.size()));
+      if (!frame.is_broadcast()) unicast_data_ok[i] = 1;
+      sim_.schedule_at(now, [handler = node.handler, src = frame.src,
+                             payload = frame.payload,
+                             bc = frame.is_broadcast()] {
+        (*handler)(src, *payload, bc);
+      });
+    }
+  }
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const ProcessId id = live[i];
+    const Frame& frame = nodes_[id].queue.front();
+    if (corrupted_any[i] != 0) ctr_.frames_collided->add();
+    if (frame.is_broadcast()) {
+      ctr_.broadcast_frames->add();
+      complete_frame(id, true);
+      continue;
+    }
+    ctr_.unicast_frames->add();
+    if (unicast_data_ok[i] != 0) {
+      // The destination decoded the data cleanly; the ACK occupies the
+      // channel after SIFS and can itself be lost to injected faults.
+      const bool ack_ok =
+          !faults_->drop(frame.dst, frame.src, now, config_.ack_bytes);
+      ctr_.airtime_ns->add(static_cast<std::uint64_t>(ack_airtime()));
+      ctr_.bytes_on_air->add(config_.ack_bytes);
+      busy_until_ = std::max(busy_until_, now + config_.sifs + ack_airtime());
+      if (ack_ok) {
+        complete_frame(id, true);
+      } else {
+        retry_or_drop(id);
+      }
+    } else {
       retry_or_drop(id);
     }
   }

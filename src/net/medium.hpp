@@ -13,6 +13,14 @@
 //
 // Omission faults beyond collisions (interference, fading, jamming) are
 // injected per (frame, receiver) through a FaultInjector.
+//
+// With a SpatialModel installed (src/spatial) the channel becomes
+// multi-hop: contention is resolved per carrier-sense domain (mutually
+// hidden contenders transmit concurrently), delivery is gated on
+// per-(frame, receiver) reachability, and overlapping transmissions
+// corrupt a frame only at receivers inside range of two or more of them —
+// the hidden-terminal collision. Without a model none of this code runs
+// and the single-hop path is byte-identical to the pre-spatial medium.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +33,9 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/broadcast_service.hpp"
 #include "net/fault_injector.hpp"
+#include "net/spatial_model.hpp"
 #include "sim/simulator.hpp"
 #include "trace/trace.hpp"
 
@@ -54,46 +64,71 @@ struct MediumConfig {
 /// Medium-level activity counters, used by the evaluation harness and the
 /// broadcast-vs-unicast ablation. This is a snapshot view assembled from
 /// the medium's MetricsRegistry — the registry is the single counting path.
+///
+/// Receiver-side counters are per-(frame, receiver) PAIRS, not per frame:
+/// one broadcast reaching 6 of 9 receivers scores 6 deliveries. The three
+/// loss counters partition the missed pairs by cause so σ accounting stays
+/// faithful to the paper's per-round omission bound:
+///   * `omissions`   — pairs lost to the injected FaultInjector chain
+///     (ambient loss, bursts, jamming, targeted/adaptive omission);
+///   * `unreachable` — pairs where the SpatialModel placed the receiver
+///     out of radio range (reachability-induced omissions; fed to the σ
+///     accountant through the unreachable hook, never mixed into
+///     `omissions`);
+///   * `hidden_terminal` — pairs corrupted because the receiver was inside
+///     range of two or more overlapping transmissions whose senders could
+///     not carrier-sense each other.
+/// `unreachable` and `hidden_terminal` stay 0 without a SpatialModel.
 struct MediumStats {
   std::uint64_t broadcast_frames = 0;   // frames put on the air
   std::uint64_t unicast_frames = 0;     // incl. MAC retries
   std::uint64_t mac_retries = 0;
-  std::uint64_t collisions = 0;         // collision events
+  std::uint64_t collisions = 0;         // overlap events (>= 2 tx at once)
   std::uint64_t frames_collided = 0;    // frames lost to collisions
   std::uint64_t unicast_drops = 0;      // frames dropped after retry limit
   std::uint64_t deliveries = 0;         // successful (frame, receiver) pairs
   std::uint64_t omissions = 0;          // injected (frame, receiver) losses
+  std::uint64_t unreachable = 0;        // out-of-range (frame, receiver) pairs
+  std::uint64_t hidden_terminal = 0;    // hidden-terminal (frame, rcv) losses
   std::uint64_t bytes_on_air = 0;
   SimDuration airtime = 0;
 };
 
-class Medium {
+class Medium final : public BroadcastService {
  public:
-  /// Called on frame delivery: source, payload, whether it was broadcast.
-  /// The view is valid only for the duration of the call; receivers that
-  /// keep the data copy what they need (usually a decoded message).
-  using ReceiveHandler =
-      std::function<void(ProcessId src, BytesView payload, bool broadcast)>;
-
-  /// One immutable frame payload shared by the sender's queue and every
-  /// receiver's delivery event — a broadcast costs one allocation total
-  /// instead of one deep copy per receiver.
-  using FramePayload = std::shared_ptr<const Bytes>;
+  /// See BroadcastService for the delivery-view and shared-payload
+  /// contracts; the aliases predate the interface and stay for callers.
+  using ReceiveHandler = BroadcastService::ReceiveHandler;
+  using FramePayload = BroadcastService::FramePayload;
 
   /// Called when a unicast send completes: true = MAC-acknowledged,
   /// false = dropped after the retry limit.
   using SendResult = std::function<void(bool acked)>;
 
+  /// Called once per (frame, receiver) pair lost to spatial unreachability
+  /// — the harness routes these into the σ accountant so partition-induced
+  /// omissions count against the paper's bound.
+  using UnreachableHook = std::function<void(SimTime at)>;
+
   Medium(sim::Simulator& simulator, MediumConfig config, Rng rng);
 
   /// Registers a node. A node must be attached to send or receive.
-  void attach(ProcessId id, ReceiveHandler handler);
+  void attach(ProcessId id, ReceiveHandler handler) override;
 
   /// Deregisters a node (crash): it stops receiving; queued frames die.
-  void detach(ProcessId id);
+  void detach(ProcessId id) override;
 
   /// Replaces the fault injector (not owned; must outlive the medium).
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
+  /// Installs the reachability/carrier-sense oracle (not owned; must
+  /// outlive the medium). nullptr (the default) is the single-hop medium.
+  void set_spatial(SpatialModel* model) { spatial_ = model; }
+
+  /// Observer for reachability-induced losses (see UnreachableHook).
+  void set_unreachable_hook(UnreachableHook hook) {
+    unreachable_hook_ = std::move(hook);
+  }
 
   /// Queues a broadcast frame. No ACK, no retry; delivery at each receiver
   /// is subject to collisions and injected omissions. When `replace_queued`
@@ -106,6 +141,11 @@ class Medium {
   /// copy of the same datagram): no further payload allocation happens.
   void send_broadcast(ProcessId src, FramePayload payload,
                       bool replace_queued = true);
+  /// BroadcastService spelling of the shared-payload overload.
+  void broadcast(ProcessId src, FramePayload payload,
+                 bool replace_queued) override {
+    send_broadcast(src, std::move(payload), replace_queued);
+  }
 
   /// Queues a unicast frame with MAC ACK/retry semantics.
   void send_unicast(ProcessId src, ProcessId dst, Bytes payload,
@@ -150,6 +190,8 @@ class Medium {
     trace::Counter* unicast_drops = nullptr;
     trace::Counter* deliveries = nullptr;
     trace::Counter* omissions = nullptr;
+    trace::Counter* unreachable = nullptr;
+    trace::Counter* hidden_terminal = nullptr;
     trace::Counter* bytes_on_air = nullptr;
     trace::Counter* airtime_ns = nullptr;
     trace::Histogram* backoff_slots = nullptr;
@@ -181,9 +223,11 @@ class Medium {
   void resolve_contention();
   void finish_single(ProcessId winner);
   void finish_collision(std::vector<ProcessId> winners);
+  void finish_overlap(const std::vector<ProcessId>& winners);
   void complete_frame(ProcessId node, bool popped_ok);
   void retry_or_drop(ProcessId node);
   void deliver(const Frame& frame);
+  void note_unreachable(const Frame& frame, ProcessId receiver);
   [[nodiscard]] SimDuration airtime_of(const Frame& frame) const;
   [[nodiscard]] SimDuration ack_airtime() const;
 
@@ -192,6 +236,8 @@ class Medium {
   Rng rng_;
   NoFaults no_faults_;
   FaultInjector* faults_ = &no_faults_;
+  SpatialModel* spatial_ = nullptr;
+  UnreachableHook unreachable_hook_;
   std::vector<NodeState> nodes_;
   std::vector<ProcessId> contenders_;
   bool resolution_pending_ = false;

@@ -1,0 +1,42 @@
+// Geometry oracle consulted by the Medium.
+//
+// The single-hop Medium stays the default: with no SpatialModel installed
+// every frame reaches every attached node and the code path (including RNG
+// consumption) is exactly the pre-spatial one. Installing a model makes
+// delivery a per-(frame, receiver) question — src/spatial answers it from
+// node positions, a unit-disk radio radius, optional log-distance fading
+// and a mobility schedule.
+//
+// Two relations, deliberately separate:
+//   * reachable(src, dst): can dst decode a frame transmitted by src right
+//     now? May be stochastic (fading draws from the model's own stream).
+//   * carrier_sense(a, b): does a sense b's transmission and defer? Pure
+//     geometry (the deterministic carrier-sense disk), never stochastic —
+//     contention resolution must not consume spatial randomness.
+//
+// Asymmetry is allowed (fading draws are per-direction); the unit disk
+// itself is symmetric.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace turq::net {
+
+class SpatialModel {
+ public:
+  virtual ~SpatialModel() = default;
+
+  /// True when a frame transmitted by `src` at `now` can be decoded at
+  /// `dst` (ignoring collisions and injected faults, which the Medium
+  /// layers on top).
+  [[nodiscard]] virtual bool reachable(ProcessId src, ProcessId dst,
+                                       SimTime now) = 0;
+
+  /// True when `a` can sense `b`'s transmission and defers to it. Two
+  /// contenders that cannot sense each other transmit concurrently — the
+  /// hidden-terminal scenario.
+  [[nodiscard]] virtual bool carrier_sense(ProcessId a, ProcessId b,
+                                           SimTime now) = 0;
+};
+
+}  // namespace turq::net

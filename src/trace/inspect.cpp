@@ -196,10 +196,28 @@ std::string inspect_jsonl(std::istream& in) {
   const unsigned long long tx = bcast + ucast;
   const unsigned long long collided = counter("medium.frames_collided");
   const double airtime_ms = ms(static_cast<long long>(counter("medium.airtime_ns")));
+  // Under a spatial topology the channel is not one shared cell: frames in
+  // different carrier-sense domains occupy the air concurrently, so raw
+  // airtime/span overstates saturation. Normalize by the mean number of
+  // sense domains sampled by the topology. Single-hop traces carry no
+  // spatial counters and keep the legacy line byte for byte.
+  const unsigned long long sp_samples = counter("spatial.samples");
   appendf(out, "\n== channel ==\n");
-  appendf(out, "airtime %.3f ms / span %.3f ms -> utilization %.1f%%\n",
-          airtime_ms, ms(span_ns),
-          span_ns > 0 ? 100.0 * airtime_ms / ms(span_ns) : 0.0);
+  if (sp_samples > 0) {
+    const double mean_domains =
+        static_cast<double>(counter("spatial.cs_domains_sum")) /
+        static_cast<double>(sp_samples);
+    const double capacity_ms = ms(span_ns) * std::max(mean_domains, 1.0);
+    appendf(out,
+            "airtime %.3f ms / span %.3f ms x %.2f carrier-sense domains -> "
+            "utilization %.1f%% per domain\n",
+            airtime_ms, ms(span_ns), mean_domains,
+            capacity_ms > 0.0 ? 100.0 * airtime_ms / capacity_ms : 0.0);
+  } else {
+    appendf(out, "airtime %.3f ms / span %.3f ms -> utilization %.1f%%\n",
+            airtime_ms, ms(span_ns),
+            span_ns > 0 ? 100.0 * airtime_ms / ms(span_ns) : 0.0);
+  }
   appendf(out,
           "tx frames: %llu broadcast + %llu unicast, %llu collision events, "
           "%llu frames collided (%.1f%% of tx)\n",
@@ -213,6 +231,47 @@ std::string inspect_jsonl(std::istream& in) {
           counter("medium.mac_retries"), counter("medium.unicast_drops"),
           counter("medium.omissions"), counter("medium.deliveries"),
           counter("medium.bytes_on_air"));
+
+  // Multi-hop topology/relay section, present only when the run carried
+  // spatial counters (single-hop traces don't, keeping their output stable).
+  if (sp_samples > 0) {
+    const unsigned long long deliveries = counter("medium.deliveries");
+    const unsigned long long losses = counter("medium.omissions") +
+                                      counter("medium.unreachable") +
+                                      counter("medium.frames_collided");
+    const unsigned long long attempts = deliveries + losses;
+    const unsigned long long pairs = counter("spatial.path_pairs");
+    const unsigned long long origins = counter("spatial.relay.origin_frames");
+    const unsigned long long rdeliv = counter("spatial.relay.deliveries");
+    appendf(out, "\n== spatial ==\n");
+    appendf(out,
+            "per-hop delivery: %llu/%llu (frame,receiver) pairs (%.1f%%); "
+            "unreachable: %llu, hidden-terminal: %llu\n",
+            deliveries, attempts,
+            attempts > 0 ? 100.0 * static_cast<double>(deliveries) /
+                               static_cast<double>(attempts)
+                         : 0.0,
+            counter("medium.unreachable"), counter("medium.hidden_terminal"));
+    appendf(out,
+            "connectivity: %llu samples, mean path %.2f hops, "
+            "partition events: %llu, partitioned samples: %llu\n",
+            sp_samples,
+            pairs > 0 ? static_cast<double>(counter("spatial.path_hops_sum")) /
+                            static_cast<double>(pairs)
+                      : 0.0,
+            counter("spatial.partition_events"),
+            counter("spatial.partitioned_samples"));
+    if (origins > 0) {
+      appendf(out,
+              "relay: %llu origin frames -> %llu forwards "
+              "(%llu suppressed, %llu duplicates), end-to-end %.2f unique "
+              "deliveries per origin frame\n",
+              origins, counter("spatial.relay.forwards"),
+              counter("spatial.relay.suppressed"),
+              counter("spatial.relay.duplicates"),
+              static_cast<double>(rdeliv) / static_cast<double>(origins));
+    }
+  }
 
   // σ accounting, present only when the scenario's fault plan tracked it
   // (the counters sum across repetition blocks, so per-rep quantities are

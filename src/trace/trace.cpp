@@ -12,6 +12,7 @@ const char* to_string(Category c) {
     case Category::kProtocol: return "protocol";
     case Category::kCrypto: return "crypto";
     case Category::kHarness: return "harness";
+    case Category::kSpatial: return "spatial";
   }
   return "?";
 }
@@ -42,6 +43,9 @@ const char* to_string(Kind k) {
     case Kind::kCryptoOp: return "crypto_op";
     case Kind::kRepBegin: return "rep_begin";
     case Kind::kRepEnd: return "rep_end";
+    case Kind::kFrameUnreachable: return "frame_unreachable";
+    case Kind::kRelayForward: return "relay_forward";
+    case Kind::kRelaySuppressed: return "relay_suppressed";
   }
   return "?";
 }

@@ -40,6 +40,7 @@ enum class Category : std::uint8_t {
   kProtocol,      // consensus protocols (Turquois and baselines)
   kCrypto,        // modeled cryptographic work
   kHarness,       // experiment driver
+  kSpatial,       // topology, mobility and relay/gossip
 };
 
 /// What happened. Kinds are globally unique (not per category) so a stream
@@ -75,6 +76,10 @@ enum class Kind : std::uint8_t {
   // harness
   kRepBegin,          // value = repetition index
   kRepEnd,            // value = repetition index
+  // spatial medium (appended: kind values are stable across releases)
+  kFrameUnreachable,  // value = receiver out of radio range
+  kRelayForward,      // gossip rebroadcast; value = origin; frame = seq
+  kRelaySuppressed,   // counter threshold hit; value = origin; frame = seq
 };
 
 [[nodiscard]] const char* to_string(Category c);

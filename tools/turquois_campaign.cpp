@@ -16,9 +16,11 @@
 //                       --reps 20 --seed 7 --out out/
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,20 @@ namespace {
       "                                      failstop, byzantine, adaptive.\n"
       "                                      Named plans:\n"
       "%s"
+      "  --topology <spec>                   repeatable; adds a topology to\n"
+      "                                      the sweep: single, grid, ring or\n"
+      "                                      random with optional parameters\n"
+      "                                      ('grid(r=150,area=400)').\n"
+      "                                      Default: single (the legacy\n"
+      "                                      everyone-hears-everyone medium;\n"
+      "                                      cell file names are unchanged)\n"
+      "  --radii 100,150,...                 radio-range axis in meters,\n"
+      "                                      applied to every multi-hop\n"
+      "                                      topology (density sweep);\n"
+      "                                      default: the spec's radius\n"
+      "  --mobilities static,waypoint        mobility axis for multi-hop\n"
+      "                                      topologies (default static);\n"
+      "                                      parameterized specs accepted\n"
       "  --dist unanimous|divergent          proposal distribution\n"
       "  --reps <N>                          repetitions per cell (default 20)\n"
       "  --loss <p>                          ambient iid frame loss\n"
@@ -73,17 +89,19 @@ namespace {
   std::exit(2);
 }
 
+/// Splits on top-level commas only: commas inside parentheses belong to a
+/// parameterized spec ("waypoint(vmin=1,vmax=3)" is one element).
 std::vector<std::string> split_list(const std::string& s) {
   std::vector<std::string> parts;
   std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t end = s.find(',', start);
-    if (end == std::string::npos) {
-      parts.push_back(s.substr(start));
-      break;
+  int depth = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && s[i] == '(') ++depth;
+    if (i < s.size() && s[i] == ')' && depth > 0) --depth;
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
     }
-    parts.push_back(s.substr(start, end - start));
-    start = end + 1;
   }
   return parts;
 }
@@ -105,7 +123,7 @@ std::string slug(const std::string& label) {
 }
 
 struct CellOutcome {
-  std::string label;        // "<protocol> n=<N> <plan>"
+  std::string label;        // "<protocol> n=<N> <plan> [<topology>]"
   bool failed = false;      // config rejected or harness crashed
   std::string error;
   std::string json_path;
@@ -113,8 +131,18 @@ struct CellOutcome {
   std::size_t samples = 0;
   std::uint32_t failed_runs = 0;
   std::uint32_t safety_violations = 0;
+  /// Per-hop (frame,receiver) delivery ratio; only meaningful (and only
+  /// printed) for multi-hop cells.
+  std::optional<double> delivery_ratio;
   std::optional<SigmaAggregate> sigma;
   std::optional<audit::AuditAggregate> audit;
+};
+
+/// One point on the topology × density × mobility axis of the sweep.
+struct SpatialAxis {
+  spatial::SpatialConfig config;
+  std::string suffix;  // file-name suffix ("" for the legacy single-hop)
+  std::string label;   // human label appended to the cell line
 };
 
 }  // namespace
@@ -123,6 +151,9 @@ int main(int argc, char** argv) {
   std::vector<Protocol> protocols{Protocol::kTurquois};
   std::vector<std::uint32_t> sizes{4, 7};
   std::vector<faultplan::FaultPlan> plans;
+  std::vector<std::string> topology_specs;
+  std::vector<std::string> mobility_specs;
+  std::vector<double> radii;
   ProposalDist dist = ProposalDist::kUnanimous;
   std::uint32_t reps = 20;
   double loss_rate = 0.01;
@@ -160,6 +191,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       plans.push_back(*plan);
+    } else if (arg == "--topology") {
+      topology_specs.emplace_back(next());
+    } else if (arg == "--radii") {
+      for (const std::string& r : split_list(next())) {
+        radii.push_back(r == "inf" ? spatial::kInfiniteRadius
+                                   : std::atof(r.c_str()));
+      }
+    } else if (arg == "--mobilities") {
+      for (const std::string& m : split_list(next())) {
+        mobility_specs.push_back(m);
+      }
     } else if (arg == "--dist") {
       const std::string d = next();
       if (d == "unanimous") dist = ProposalDist::kUnanimous;
@@ -194,6 +236,50 @@ int main(int argc, char** argv) {
       plans.push_back(*faultplan::plan_from_name(name, nullptr));
     }
   }
+
+  // Expand the topology × density × mobility axes into concrete spatial
+  // configs. The bare default — one single-hop point — produces suffix-free
+  // file names, so existing campaign outputs keep their exact paths.
+  if (topology_specs.empty()) topology_specs.emplace_back("single");
+  if (mobility_specs.empty()) mobility_specs.emplace_back("static");
+  std::vector<SpatialAxis> spatial_axes;
+  for (const std::string& tspec : topology_specs) {
+    spatial::SpatialConfig base;
+    std::string error;
+    if (!spatial::parse_topology(tspec, &base, &error)) {
+      std::fprintf(stderr, "bad --topology spec '%s': %s\n", tspec.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (!base.topology_set()) {
+      // Single-hop: the radius and mobility axes are meaningless, emit
+      // exactly one legacy cell per grid coordinate.
+      spatial_axes.push_back({base, "", ""});
+      continue;
+    }
+    const std::vector<double> radius_axis =
+        radii.empty() ? std::vector<double>{base.radius_m} : radii;
+    for (const double radius : radius_axis) {
+      for (const std::string& mspec : mobility_specs) {
+        SpatialAxis axis;
+        axis.config = base;
+        axis.config.radius_m = radius;
+        if (!spatial::parse_mobility(mspec, &axis.config, &error)) {
+          std::fprintf(stderr, "bad --mobilities spec '%s': %s\n",
+                       mspec.c_str(), error.c_str());
+          return 2;
+        }
+        std::string radius_tag =
+            std::isfinite(radius)
+                ? "r" + std::to_string(static_cast<long long>(radius))
+                : "rinf";
+        axis.suffix = "_" + slug(tspec.substr(0, tspec.find('('))) + "-" +
+                      radius_tag + "-" + slug(mspec.substr(0, mspec.find('(')));
+        axis.label = " [" + spatial::describe(axis.config) + "]";
+        spatial_axes.push_back(std::move(axis));
+      }
+    }
+  }
   if (!out_dir.empty() && out_dir.back() == '/') out_dir.pop_back();
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
@@ -207,9 +293,10 @@ int main(int argc, char** argv) {
   for (const Protocol protocol : protocols) {
     for (const faultplan::FaultPlan& plan : plans) {
       for (const std::uint32_t n : sizes) {
+        for (const SpatialAxis& axis : spatial_axes) {
         CellOutcome cell;
         cell.label = to_string(protocol) + " n=" + std::to_string(n) + " " +
-                     plan.name;
+                     plan.name + axis.label;
         std::printf("[cell] %s ...\n", cell.label.c_str());
         std::fflush(stdout);
         const auto started = std::chrono::steady_clock::now();
@@ -219,6 +306,7 @@ int main(int argc, char** argv) {
                                          .group_size(n)
                                          .distribution(dist)
                                          .plan(plan)
+                                         .topology(axis.config)
                                          .seed(seed)
                                          .repetitions(reps)
                                          .jobs(jobs)
@@ -231,7 +319,8 @@ int main(int argc, char** argv) {
                                   std::chrono::steady_clock::now() - started)
                                   .count();
           const std::string name = "campaign_" + to_string(protocol) + "_" +
-                                   slug(plan.name) + "_n" + std::to_string(n);
+                                   slug(plan.name) + "_n" + std::to_string(n) +
+                                   axis.suffix;
           BenchReport report;
           report.name = name;
           report.seed = seed;
@@ -247,6 +336,16 @@ int main(int argc, char** argv) {
           cell.samples = r.latency_ms.count();
           cell.failed_runs = r.failed_runs;
           cell.safety_violations = r.safety_violations;
+          if (r.spatial_total.has_value()) {
+            const unsigned long long attempts =
+                r.medium_total.deliveries + r.medium_total.omissions +
+                r.medium_total.unreachable + r.medium_total.frames_collided;
+            cell.delivery_ratio =
+                attempts > 0
+                    ? static_cast<double>(r.medium_total.deliveries) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+          }
           cell.sigma = r.sigma;
           cell.audit = r.audit;
         } catch (const std::exception& e) {
@@ -255,12 +354,13 @@ int main(int argc, char** argv) {
           cell.error = e.what();
         }
         outcomes.push_back(std::move(cell));
+        }
       }
     }
   }
 
-  std::printf("\n%-34s %12s %8s %8s %8s %s\n", "cell", "mean_ms", "samples",
-              "failed", "audit", "sigma");
+  std::printf("\n%-34s %12s %8s %8s %9s %8s %s\n", "cell", "mean_ms",
+              "samples", "failed", "delivery", "audit", "sigma");
   bool any_failed = false;
   for (const CellOutcome& cell : outcomes) {
     if (cell.failed) {
@@ -280,8 +380,13 @@ int main(int argc, char** argv) {
     if (cell.audit.has_value()) {
       audit_col = cell.audit->passed() ? "pass" : "FAIL";
     }
-    std::printf("%-34s %12.2f %8zu %8u %8s %s\n", cell.label.c_str(),
-                cell.mean_ms, cell.samples, cell.failed_runs,
+    char delivery_col[16] = "-";
+    if (cell.delivery_ratio.has_value()) {
+      std::snprintf(delivery_col, sizeof(delivery_col), "%.1f%%",
+                    100.0 * *cell.delivery_ratio);
+    }
+    std::printf("%-34s %12.2f %8zu %8u %9s %8s %s\n", cell.label.c_str(),
+                cell.mean_ms, cell.samples, cell.failed_runs, delivery_col,
                 audit_col.c_str(), sigma.c_str());
     if (cell.safety_violations > 0) {
       any_failed = true;

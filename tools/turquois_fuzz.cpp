@@ -62,6 +62,14 @@ namespace {
       "                          (default both; only swept for plans with\n"
       "                          the byzantine role)\n"
       "  --sizes <list>          comma-separated group sizes (default 4,7,10)\n"
+      "  --topologies <list>     comma-separated topology specs swept as an\n"
+      "                          axis: single, grid, ring, random, optionally\n"
+      "                          parameterized ('grid(r=150)'); commas inside\n"
+      "                          parentheses stay within one spec. A\n"
+      "                          'waypoint' suffix after '+' adds mobility:\n"
+      "                          'grid(r=150)+waypoint'. Default: single.\n"
+      "                          The shrinker tries single-hop, then static\n"
+      "                          mobility, before shrinking the group\n"
       "  --dist unanimous|divergent|both   proposal distribution (default\n"
       "                          unanimous)\n"
       "  --timeout <s>           per-repetition deadline (default 120)\n"
@@ -77,19 +85,33 @@ namespace {
   std::exit(2);
 }
 
+/// Splits on top-level commas only: commas inside parentheses belong to a
+/// parameterized topology spec ("grid(r=150,area=400)" is one element).
 std::vector<std::string> split_list(const std::string& s) {
   std::vector<std::string> parts;
   std::size_t start = 0;
-  while (start <= s.size()) {
-    const std::size_t end = s.find(',', start);
-    if (end == std::string::npos) {
-      parts.push_back(s.substr(start));
-      break;
+  int depth = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && s[i] == '(') ++depth;
+    if (i < s.size() && s[i] == ')' && depth > 0) --depth;
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
     }
-    parts.push_back(s.substr(start, end - start));
-    start = end + 1;
   }
   return parts;
+}
+
+/// Parses a "--topologies" element: a topology spec optionally followed by
+/// "+<mobility spec>" ("grid(r=150)+waypoint(vmin=2,vmax=4)").
+bool parse_topology_axis(const std::string& element,
+                         spatial::SpatialConfig* out, std::string* error) {
+  const std::size_t plus = element.find('+');
+  if (!spatial::parse_topology(element.substr(0, plus), out, error)) {
+    return false;
+  }
+  if (plus == std::string::npos) return true;
+  return spatial::parse_mobility(element.substr(plus + 1), out, error);
 }
 
 std::string slug(const std::string& label) {
@@ -163,6 +185,13 @@ std::string repro_command(const ScenarioConfig& cfg, std::uint64_t rep_index) {
       cfg.attack != TurquoisAttack::kValueInversion) {
     cmd += " --attack " + to_string(cfg.attack);
   }
+  if (cfg.spatial.topology_set()) {
+    cmd += " --topology '" + spatial::to_spec_topology(cfg.spatial) + "'";
+    if (cfg.spatial.mobility != spatial::Mobility::kStatic) {
+      cmd += " --mobility '" + spatial::to_spec_mobility(cfg.spatial) + "'";
+    }
+    if (!cfg.relay_enabled) cmd += " --no-relay";
+  }
   cmd += " --seed " + std::to_string(cfg.seed);
   cmd += " --reps " + std::to_string(rep_index + 1);
   cmd += " --timeout " +
@@ -213,6 +242,29 @@ ShrinkResult shrink(ScenarioConfig cfg, Violation violation,
     }
   }
 
+  // Shrink the topology toward the single-hop medium: a violation that
+  // survives without the spatial layer (or without mobility) is easier to
+  // replay and debug. Removing the layer shifts the repetition's derived
+  // Rng streams, so — as with clause dropping — any violation anywhere in
+  // the rescan accepts the candidate.
+  if (out.cfg.spatial.active()) {
+    ScenarioConfig probe = out.cfg;
+    probe.spatial = spatial::SpatialConfig{};
+    if (const auto v = first_violation(probe)) {
+      out.cfg = probe;
+      out.violation = *v;
+      ++out.steps;
+    } else if (out.cfg.spatial.mobility != spatial::Mobility::kStatic) {
+      probe = out.cfg;
+      probe.spatial.mobility = spatial::Mobility::kStatic;
+      if (const auto v2 = first_violation(probe)) {
+        out.cfg = probe;
+        out.violation = *v2;
+        ++out.steps;
+      }
+    }
+  }
+
   // Shrink the group: smallest swept n that still violates wins.
   for (const std::uint32_t n : sizes) {
     if (n >= out.cfg.n) continue;
@@ -248,6 +300,7 @@ int main(int argc, char** argv) {
   std::vector<TurquoisAttack> attacks{TurquoisAttack::kValueInversion,
                                       TurquoisAttack::kDecidedCoinForge};
   std::vector<std::uint32_t> sizes{4, 7, 10};
+  std::vector<std::string> topology_specs{"single"};
   std::vector<ProposalDist> dists{ProposalDist::kUnanimous};
   SimDuration timeout = 120 * kSecond;
   std::uint64_t audit_phase_bound = 0;
@@ -291,6 +344,8 @@ int main(int argc, char** argv) {
       for (const std::string& s : split_list(next())) {
         sizes.push_back(static_cast<std::uint32_t>(std::atoi(s.c_str())));
       }
+    } else if (arg == "--topologies") {
+      topology_specs = split_list(next());
     } else if (arg == "--dist") {
       const std::string d = next();
       if (d == "unanimous") dists = {ProposalDist::kUnanimous};
@@ -329,6 +384,17 @@ int main(int argc, char** argv) {
     }
     plans.push_back(*plan);
   }
+  std::vector<spatial::SpatialConfig> topologies;
+  for (const std::string& spec : topology_specs) {
+    spatial::SpatialConfig sp;
+    std::string error;
+    if (!parse_topology_axis(spec, &sp, &error)) {
+      std::fprintf(stderr, "bad --topologies entry '%s': %s\n", spec.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    topologies.push_back(sp);
+  }
   if (!corpus_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(corpus_dir, ec);
@@ -356,6 +422,7 @@ int main(int argc, char** argv) {
       }
       for (const TurquoisAttack attack : cell_attacks) {
         for (const ProposalDist dist : dists) {
+          for (const spatial::SpatialConfig& topo : topologies) {
           for (const std::uint32_t n : sizes) {
             ScenarioConfig cfg;
             cfg.protocol = protocol;
@@ -363,6 +430,7 @@ int main(int argc, char** argv) {
             cfg.distribution = dist;
             cfg.plan = plan;
             cfg.attack = attack;
+            cfg.spatial = topo;
             cfg.seed = seed_base;
             cfg.repetitions = seeds;
             cfg.jobs = jobs;
@@ -379,6 +447,12 @@ int main(int argc, char** argv) {
               label += " attack=" + to_string(attack);
             }
             if (dists.size() > 1) label += " " + to_string(dist);
+            if (topo.topology_set()) {
+              label += " topo=" + spatial::to_spec_topology(topo);
+              if (topo.mobility != spatial::Mobility::kStatic) {
+                label += "+" + spatial::to_spec_mobility(topo);
+              }
+            }
             label += " n=" + std::to_string(n);
             std::printf("[fuzz] %s: %u seeds ... ", label.c_str(), seeds);
             std::fflush(stdout);
@@ -432,6 +506,7 @@ int main(int argc, char** argv) {
                              path.c_str());
               }
             }
+          }
           }
         }
       }

@@ -47,6 +47,19 @@ namespace {
       "                                    attack; decided-coin forges the\n"
       "                                    unsigned status/from_coin header\n"
       "                                    bits)\n"
+      "  --topology <spec>                 node placement: single (default),\n"
+      "                                    grid, ring or random, optionally\n"
+      "                                    with parameters, e.g.\n"
+      "                                    'grid(r=150,area=400,cs=2.2)';\n"
+      "                                    r=inf keeps the single-hop medium\n"
+      "  --radius <m>                      radio range shorthand (overrides\n"
+      "                                    the spec's r=)\n"
+      "  --area <m>                        deployment area side in meters\n"
+      "  --mobility <spec>                 static (default) or waypoint, e.g.\n"
+      "                                    'waypoint(vmin=1,vmax=3,pause=500)'\n"
+      "  --no-relay                        multi-hop without the gossip relay\n"
+      "                                    (Turquois only; frames reach radio\n"
+      "                                    neighbours, nothing is forwarded)\n"
       "  --reps <N>                        repetitions (default 20)\n"
       "  --loss <p>                        extra iid frame loss (default 0.01)\n"
       "  --no-bursts                       disable Gilbert-Elliott bursts\n"
@@ -134,6 +147,26 @@ int main(int argc, char** argv) {
       cfg.audit = false;
     } else if (arg == "--audit-phase-bound") {
       cfg.audit_phase_bound = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--topology") {
+      std::string error;
+      if (!spatial::parse_topology(next(), &cfg.spatial, &error)) {
+        std::fprintf(stderr, "bad --topology spec: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (arg == "--radius") {
+      const std::string_view r = next();
+      cfg.spatial.radius_m =
+          (r == "inf") ? spatial::kInfiniteRadius : std::atof(r.data());
+    } else if (arg == "--area") {
+      cfg.spatial.area_m = std::atof(next());
+    } else if (arg == "--mobility") {
+      std::string error;
+      if (!spatial::parse_mobility(next(), &cfg.spatial, &error)) {
+        std::fprintf(stderr, "bad --mobility spec: %s\n", error.c_str());
+        return 2;
+      }
+    } else if (arg == "--no-relay") {
+      cfg.relay_enabled = false;
     } else if (arg == "--reps") {
       cfg.repetitions = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--loss") {
@@ -195,6 +228,11 @@ int main(int argc, char** argv) {
               to_string(cfg.distribution).c_str(),
               cfg.fault_label().c_str(), cfg.repetitions,
               static_cast<unsigned long long>(cfg.seed));
+  if (cfg.spatial.topology_set()) {
+    std::printf("topology: %s%s\n", spatial::describe(cfg.spatial).c_str(),
+                cfg.spatial.active() && !cfg.relay_enabled ? ", relay off"
+                                                           : "");
+  }
 
   if (verbose) {
     // The preview pass re-runs the same repetitions run_scenario runs;
@@ -286,6 +324,35 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.medium_total.mac_retries),
               to_milliseconds(r.medium_total.airtime),
               static_cast<unsigned long long>(r.medium_total.bytes_on_air));
+  if (r.spatial_total.has_value()) {
+    const spatial::SpatialStats& sp = *r.spatial_total;
+    const unsigned long long losses = r.medium_total.omissions +
+                                      r.medium_total.unreachable +
+                                      r.medium_total.frames_collided;
+    const unsigned long long attempts = r.medium_total.deliveries + losses;
+    std::printf(
+        "spatial (totals): per-hop delivery %.1f%% (%llu unreachable, "
+        "%llu hidden-terminal), mean path %.2f hops, %llu partition events\n",
+        attempts > 0 ? 100.0 * static_cast<double>(r.medium_total.deliveries) /
+                           static_cast<double>(attempts)
+                     : 0.0,
+        static_cast<unsigned long long>(r.medium_total.unreachable),
+        static_cast<unsigned long long>(r.medium_total.hidden_terminal),
+        sp.path_pairs > 0 ? static_cast<double>(sp.path_hops_sum) /
+                                static_cast<double>(sp.path_pairs)
+                          : 0.0,
+        static_cast<unsigned long long>(sp.partition_events));
+    if (sp.relay_origin_frames > 0) {
+      std::printf(
+          "relay (totals): %llu origin frames, %llu forwards, %llu "
+          "suppressed, %.2f unique deliveries per origin frame\n",
+          static_cast<unsigned long long>(sp.relay_origin_frames),
+          static_cast<unsigned long long>(sp.relay_forwards),
+          static_cast<unsigned long long>(sp.relay_suppressed),
+          static_cast<double>(sp.relay_deliveries) /
+              static_cast<double>(sp.relay_origin_frames));
+    }
+  }
   print_sigma();
   const bool audit_passed = print_audit();
   if (r.failed_runs > 0) {
