@@ -11,6 +11,16 @@
 // ~40 MB/s, RSA-1024 private op ~10 ms, public op (e=65537) ~0.5 ms, and a
 // ~512-bit modular exponentiation ~1.4 ms (the threshold-coin group in
 // Cachin et al.'s implementation).
+//
+// This model is the virtual-time half of the two-time-domain rule
+// (sha256.hpp): what a simulated node is CHARGED is decided here, per
+// operation, regardless of how the simulator host computes the result.
+// Host-side optimizations — the 8-way batched compressor, memoized
+// verification (VerifyMemo), shared decoded exchanges — never change these
+// charges: a node that receives 40 signed messages burns 40 × ots_verify()
+// of virtual CPU even when the host verified the batch in 5 sweeps or
+// served it from a cache. That invariant is what keeps simulated latencies
+// and every downstream statistic bit-identical across host-side paths.
 #pragma once
 
 #include "common/types.hpp"

@@ -1,5 +1,9 @@
 #include "crypto/hmac.hpp"
 
+#include <vector>
+
+#include "crypto/sha256_batch.hpp"
+
 namespace turq::crypto {
 
 HmacKey::HmacKey(BytesView key) {
@@ -36,6 +40,28 @@ bool HmacKey::verify(BytesView message, const Digest& expected) const {
   const Digest got = mac(message);
   return constant_time_equal(BytesView(got.data(), got.size()),
                              BytesView(expected.data(), expected.size()));
+}
+
+void hmac_sha256_batch(const HmacJob* jobs, std::size_t count, Digest* out) {
+  if (count == 0) return;
+  // Pass 1: inner digests, each lane resuming from its key's ipad state.
+  std::vector<Sha256Resume> lanes(count);
+  std::vector<Digest> inner(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sha256& st = jobs[i].key->inner_state();
+    lanes[i].state = st.state_words();
+    lanes[i].prefix_len = st.bytes_absorbed();
+    lanes[i].data = jobs[i].message;
+  }
+  sha256_batch_resume(lanes.data(), count, inner.data());
+  // Pass 2: outer digests over the inner ones.
+  for (std::size_t i = 0; i < count; ++i) {
+    const Sha256& st = jobs[i].key->outer_state();
+    lanes[i].state = st.state_words();
+    lanes[i].prefix_len = st.bytes_absorbed();
+    lanes[i].data = BytesView(inner[i].data(), inner[i].size());
+  }
+  sha256_batch_resume(lanes.data(), count, out);
 }
 
 Digest hmac_sha256(BytesView key, BytesView message) {

@@ -3,6 +3,12 @@
 // Used to authenticate the reliable point-to-point channels of the Bracha
 // baseline — the simulated analogue of the IPSec Authentication Header the
 // paper configured between every pair of nodes.
+//
+// Batch contract: hmac_sha256_batch() computes many MACs in two 8-way
+// compression passes (inner then outer, resuming from each key's
+// pre-absorbed pad states). Digests are bit-identical to HmacKey::mac();
+// batching is host-time only — virtual-time costs (crypto::CostModel) keep
+// charging per MAC. See sha256.hpp for the two-time-domain rules.
 #pragma once
 
 #include "crypto/sha256.hpp"
@@ -27,9 +33,26 @@ class HmacKey {
   [[nodiscard]] Digest mac(BytesView message) const;
   [[nodiscard]] bool verify(BytesView message, const Digest& mac) const;
 
+  /// Pre-absorbed pad contexts, exposed for the batched MAC path
+  /// (hmac_sha256_batch). Both sit exactly on a block boundary (one 64-byte
+  /// pad block absorbed), so their state resumes via sha256_batch_resume.
+  [[nodiscard]] const Sha256& inner_state() const { return inner_; }
+  [[nodiscard]] const Sha256& outer_state() const { return outer_; }
+
  private:
   Sha256 inner_;  // state after absorbing key ^ ipad
   Sha256 outer_;  // state after absorbing key ^ opad
 };
+
+/// One (key, message) pair for hmac_sha256_batch. The key and message bytes
+/// must outlive the call.
+struct HmacJob {
+  const HmacKey* key = nullptr;
+  BytesView message;
+};
+
+/// Batched MAC: out[i] == jobs[i].key->mac(jobs[i].message) for every i and
+/// any count. Profitable from 2 jobs up (see sha256_batch.hpp).
+void hmac_sha256_batch(const HmacJob* jobs, std::size_t count, Digest* out);
 
 }  // namespace turq::crypto

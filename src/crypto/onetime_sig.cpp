@@ -1,7 +1,10 @@
 #include "crypto/onetime_sig.hpp"
 
+#include <vector>
+
 #include "common/assert.hpp"
 #include "common/serialize.hpp"
+#include "crypto/sha256_batch.hpp"
 
 namespace turq::crypto {
 
@@ -69,16 +72,23 @@ OneTimeKeyChain OneTimeKeyChain::generate(ProcessId owner, Phase first_phase,
                                           Phase num_phases, Rng& rng) {
   TURQ_ASSERT(first_phase >= 1 && num_phases >= 1);
   OneTimeKeyChain chain;
-  std::vector<Digest> vks;
+  // Draw every secret first — byte for byte the same RNG consumption as the
+  // draw-then-hash-one-at-a-time loop this replaces, since hashing never
+  // touched the stream — then derive all VKs in one batched sweep.
   for (Phase phase = first_phase; phase < first_phase + num_phases; ++phase) {
     const std::size_t slots = VerificationKeyArray::slots_for_phase(phase);
     for (std::size_t s = 0; s < slots; ++s) {
       Bytes sk(kSecretKeyLen);
       for (auto& byte : sk) byte = static_cast<std::uint8_t>(rng.next());
-      vks.push_back(Sha256::hash(sk));
       chain.secrets_.push_back(std::move(sk));
     }
   }
+  std::vector<BytesView> views(chain.secrets_.size());
+  for (std::size_t i = 0; i < chain.secrets_.size(); ++i) {
+    views[i] = chain.secrets_[i];
+  }
+  std::vector<Digest> vks(chain.secrets_.size());
+  sha256_batch(views.data(), views.size(), vks.data());
   chain.public_keys_ = VerificationKeyArray(owner, first_phase, std::move(vks));
   return chain;
 }
@@ -94,6 +104,26 @@ bool ots_verify(const VerificationKeyArray& vk_array, Phase phase, Value v,
   const Digest& expected = vk_array.key(phase, v);
   return constant_time_equal(BytesView(computed.data(), computed.size()),
                              BytesView(expected.data(), expected.size()));
+}
+
+void ots_verify_batch(const OtsCheck* checks, std::size_t count, bool* out) {
+  if (count == 0) return;
+  std::vector<BytesView> msgs(count);
+  for (std::size_t i = 0; i < count; ++i) msgs[i] = checks[i].revealed_sk;
+  std::vector<Digest> digests(count);
+  sha256_batch(msgs.data(), count, digests.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    const OtsCheck& c = checks[i];
+    if (c.vk_array == nullptr || !c.vk_array->covers(c.phase) ||
+        !ots_value_allowed(c.phase, c.v)) {
+      out[i] = false;
+      continue;
+    }
+    const Digest& expected = c.vk_array->key(c.phase, c.v);
+    out[i] = constant_time_equal(
+        BytesView(digests[i].data(), digests[i].size()),
+        BytesView(expected.data(), expected.size()));
+  }
 }
 
 SignedKeyArray sign_key_array(const VerificationKeyArray& keys,

@@ -10,6 +10,13 @@
 //
 // Per the paper's footnote, SK[φ][⊥] exists only for φ (mod 3) = 0, the
 // only phases in which ⊥ is an acceptable proposal value.
+//
+// Batch contract: ots_verify_batch() and the key-chain generator route their
+// hashes through the 8-way compressor (sha256_batch.hpp). Results are bit-
+// identical to the scalar calls — same verdicts, same key bytes, same RNG
+// stream consumption — so batching is purely a host-time (simulator wall
+// clock) optimization; virtual-time charging stays per-verification via
+// crypto::CostModel (see sha256.hpp for the two-time-domain rules).
 #pragma once
 
 #include <cstdint>
@@ -87,6 +94,20 @@ class OneTimeKeyChain {
 /// Checks that `revealed_sk` authenticates (phase, value) under `vk_array`.
 bool ots_verify(const VerificationKeyArray& vk_array, Phase phase, Value v,
                 BytesView revealed_sk);
+
+/// One pending verification for ots_verify_batch. The referenced VK array
+/// and key bytes must outlive the call.
+struct OtsCheck {
+  const VerificationKeyArray* vk_array = nullptr;
+  Phase phase = 0;
+  Value v = Value::kZero;
+  BytesView revealed_sk;
+};
+
+/// Batched ots_verify: out[i] == ots_verify(*checks[i].vk_array, …) for
+/// every i and any count. The revealed-key hashes run 8 per compression
+/// sweep; profitable from 2 checks up (see sha256_batch.hpp for lane rules).
+void ots_verify_batch(const OtsCheck* checks, std::size_t count, bool* out);
 
 /// A VK array signed with the owner's RSA key (the key-exchange payload).
 struct SignedKeyArray {

@@ -4,6 +4,21 @@
 // (VK[phase][value] = H(SK[phase][value])), by HMAC channel authentication
 // for the Bracha baseline, and as the random oracle of the ABBA threshold
 // coin. Verified against the FIPS test vectors in tests/crypto_test.cpp.
+//
+// Two time domains touch this code and must not be confused:
+//
+//   * Host time — how long the simulator process spends computing a digest.
+//     The scalar context here and the 8-way batched compressor in
+//     sha256_batch.hpp are interchangeable ways to spend it; batching only
+//     makes the *simulator* faster.
+//   * Virtual time — what a simulated node is charged for a hash, set by
+//     crypto::CostModel and burned on a VirtualCpu. Charges are always
+//     per-operation: batching N verifications host-side still charges N
+//     individual ots_verify() costs in virtual time, so simulated latencies,
+//     schedules, and every downstream statistic are unchanged.
+//
+// When a caller has ≥2 independent digests to compute on the host, prefer
+// sha256_batch() (see sha256_batch.hpp for lane-count selection rules).
 #pragma once
 
 #include <array>
@@ -34,6 +49,16 @@ class Sha256 {
   /// One-shot convenience.
   static Digest hash(BytesView data);
   static Digest hash(std::string_view s) { return hash(as_bytes(s)); }
+
+  /// Compression state after the bytes absorbed so far, exposed for the
+  /// batched resume path (sha256_batch_resume). Only meaningful when the
+  /// context sits exactly on a block boundary (bytes_absorbed() % 64 == 0),
+  /// as the HMAC pad states always do; otherwise the buffered tail is not
+  /// reflected here.
+  const std::array<std::uint32_t, 8>& state_words() const { return state_; }
+
+  /// Total bytes absorbed via update() since the last reset().
+  std::uint64_t bytes_absorbed() const { return total_len_; }
 
  private:
   void process_block(const std::uint8_t* block);

@@ -1,0 +1,83 @@
+// 8-way message-parallel SHA-256 (FIPS 180-4).
+//
+// The batched compressor runs eight *independent* hash streams through the
+// 64-round compression function at once: one lane per message, with the
+// working state held transposed (one register per state word, one 32-bit
+// lane per message). Two implementations sit behind one entry point:
+//
+//   * kScalarLanes — portable lane-interleaved C++. Every round operates on
+//     uint32_t[8] arrays with the lane index innermost, which compilers
+//     auto-vectorize to whatever SIMD width the target offers (SSE2 gives
+//     4 lanes per op, AVX2 all 8). This is the fallback and is always built.
+//   * kAvx2 — each state word is one __m256i holding all 8 lanes. Compiled
+//     with a function-level target attribute, so the rest of the binary
+//     stays generic; selected at *runtime* via cpuid.
+//
+// Lane-count selection rules: the batch APIs take any count. Messages are
+// processed 8 per sweep; a final partial group still compresses 8 lanes
+// (idle lanes chew a dummy block whose result is discarded) — batching is
+// profitable from 2 messages up, and callers should simply hand over
+// whatever they have rather than padding to a multiple of 8. Lanes of
+// different lengths are handled per sweep: each lane pads and finishes on
+// its own schedule, and lanes that run out keep the compressor fed with a
+// dummy block while longer lanes drain.
+//
+// Host-time vs virtual-time: everything here is a WALL-CLOCK optimization
+// only. Digests are bit-identical to Sha256::hash() per message, and the
+// simulator's virtual-time crypto costs (crypto::CostModel) keep charging
+// every hash individually — batching models a faster simulator host, not a
+// faster simulated node. See cost_model.hpp for the split.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace turq::crypto {
+
+/// Messages per compression sweep (the AVX2 register width in 32-bit lanes).
+inline constexpr std::size_t kSha256Lanes = 8;
+
+enum class Sha256Impl {
+  kAuto,         ///< resolve at runtime: AVX2 when the CPU has it
+  kScalarLanes,  ///< portable lane-interleaved C++ (auto-vectorizable)
+  kAvx2,         ///< one YMM register per state word, 8 lanes each
+};
+
+[[nodiscard]] const char* to_string(Sha256Impl impl);
+
+/// The implementation kAuto resolves to on this machine.
+[[nodiscard]] Sha256Impl sha256_batch_resolved_impl();
+
+/// Pins the implementation (equivalence tests, A/B benchmarks). Requesting
+/// kAvx2 on a machine without it silently resolves to kScalarLanes — the
+/// caller can confirm with sha256_batch_resolved_impl(). Not thread-safe:
+/// set once before any worker threads hash.
+void sha256_batch_force_impl(Sha256Impl impl);
+
+/// Hashes `count` independent messages. out[i] == Sha256::hash(msgs[i])
+/// bit for bit, for every i and any count (including 0 and non-multiples
+/// of 8).
+void sha256_batch(const BytesView* msgs, std::size_t count, Digest* out);
+
+/// One resumable lane: `state` is the compression state after absorbing
+/// `prefix_len` bytes (must be a multiple of 64 — i.e. the context sat on a
+/// block boundary, as the HMAC pad states always do), `data` the remaining
+/// suffix. The lane's digest covers the full prefix_len + data stream.
+struct Sha256Resume {
+  std::array<std::uint32_t, 8> state;
+  std::uint64_t prefix_len = 0;
+  BytesView data;
+};
+
+/// Batched finalize-from-state. out[i] equals the digest a scalar Sha256
+/// would produce after absorbing lanes[i]'s full stream. This is the HMAC
+/// fast path: both the inner and the outer hash resume from a pre-absorbed
+/// 64-byte pad block (crypto::HmacKey), so a MAC costs two batched sweeps.
+void sha256_batch_resume(const Sha256Resume* lanes, std::size_t count,
+                         Digest* out);
+
+}  // namespace turq::crypto

@@ -15,7 +15,9 @@
 #include "net/reliable_channel.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task_pool.hpp"
 #include "trace/trace.hpp"
+#include "turquois/exchange_pool.hpp"
 #include "turquois/key_infra.hpp"
 #include "turquois/process.hpp"
 
@@ -320,6 +322,22 @@ RunResult run_turquois(const ScenarioConfig& cfg,
   const turquois::KeyInfrastructure& keys =
       local_keys.has_value() ? *local_keys : *setup->turquois_keys;
 
+  // Intra-run acceleration: one prepared-exchange cache shared by all
+  // receivers, optionally pre-filled by lookahead workers. The cache is
+  // declared *before* the worker pool: destruction runs in reverse, so the
+  // pool drains and joins (completing any in-flight fill) while the cache
+  // entries it writes are still alive.
+  std::unique_ptr<turquois::ExchangePool> exchange_pool;
+  std::unique_ptr<sim::TaskPool> intra_pool;
+  if (sim::TaskPool::resolve(cfg.intra_jobs) > 1) {
+    intra_pool =
+        std::make_unique<sim::TaskPool>(sim::TaskPool::resolve(cfg.intra_jobs));
+  }
+  if (cfg.exchange_pool) {
+    exchange_pool = std::make_unique<turquois::ExchangePool>(
+        keys, tcfg, intra_pool.get());
+  }
+
   std::vector<std::unique_ptr<net::BroadcastEndpoint>> endpoints;
   std::vector<std::unique_ptr<turquois::Process>> procs;
   d.decided.resize(cfg.n);
@@ -346,6 +364,7 @@ RunResult run_turquois(const ScenarioConfig& cfg,
         d.sim, *endpoints.back(), *d.cpus.back(), tcfg, keys, id,
         root.derive("proc", id), cfg.costs));
     auto* p = procs.back().get();
+    if (exchange_pool != nullptr) p->set_exchange_pool(exchange_pool.get());
     d.decided[id] = [p] { return p->decided(); };
     d.decision[id] = [p]() -> std::optional<Value> {
       return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
@@ -669,9 +688,9 @@ std::optional<std::string> validate(const ScenarioConfig& cfg) {
     return "group size n must be >= 4 (n = " + std::to_string(cfg.n) +
            " gives f = 0, which degenerates the Byzantine quorums)";
   }
-  if (cfg.n > 64) {
-    return "group size n must be <= 64 (n = " + std::to_string(cfg.n) +
-           "; the Turquois hot path tracks senders in 64-bit bitmasks)";
+  if (cfg.n > 128) {
+    return "group size n must be <= 128 (n = " + std::to_string(cfg.n) +
+           "; the Turquois hot path tracks senders in 128-bit bitsets)";
   }
   if (cfg.loss_rate < 0.0 || cfg.loss_rate > 1.0) {
     return "loss_rate must be a probability in [0, 1]";

@@ -100,6 +100,22 @@ struct ScenarioConfig {
   /// harness).
   std::uint32_t jobs = 1;
 
+  /// Worker threads *inside* one repetition, used to pre-fill the shared
+  /// prepared-exchange cache during the DIFS/backoff/airtime lookahead
+  /// window (decode + batched SHA-256 authenticity per unique payload).
+  /// Same encoding as `jobs`: 1 = serial on the simulation thread (the
+  /// default), 0 = auto-detect, N > 1 = a pool of N workers. The commit
+  /// stage stays serial, so runs are bit-identical at any value (see
+  /// turquois/exchange_pool.hpp and DESIGN.md §14). Composes
+  /// multiplicatively with `jobs`; prefer intra_jobs for few large-n
+  /// repetitions and `jobs` for many small ones.
+  std::uint32_t intra_jobs = 1;
+  /// Share one decode+verify per unique broadcast payload across all
+  /// receivers of a repetition (authenticity is receiver-independent).
+  /// Off = every delivery decodes and verifies privately; observable
+  /// output is bit-identical either way.
+  bool exchange_pool = true;
+
   /// Wall guard per repetition (simulated time).
   SimDuration run_timeout = 120 * kSecond;
 
@@ -211,6 +227,14 @@ class ScenarioBuilder {
     return *this;
   }
   ScenarioBuilder& jobs(std::uint32_t j) { cfg_.jobs = j; return *this; }
+  ScenarioBuilder& intra_jobs(std::uint32_t j) {
+    cfg_.intra_jobs = j;
+    return *this;
+  }
+  ScenarioBuilder& exchange_pool(bool on) {
+    cfg_.exchange_pool = on;
+    return *this;
+  }
   ScenarioBuilder& loss(double rate) { cfg_.loss_rate = rate; return *this; }
   ScenarioBuilder& bursts(bool on) { cfg_.bursty_loss = on; return *this; }
   ScenarioBuilder& topology(spatial::SpatialConfig sp) {

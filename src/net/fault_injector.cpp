@@ -6,11 +6,7 @@ namespace turq::net {
 
 GilbertElliott::LinkState& GilbertElliott::link(ProcessId src, ProcessId dst) {
   const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
-  for (auto& [k, state] : links_) {
-    if (k == key) return state;
-  }
-  links_.emplace_back(key, LinkState{});
-  return links_.back().second;
+  return links_[key];  // default-constructed good state on first touch
 }
 
 bool GilbertElliott::drop(ProcessId src, ProcessId dst, SimTime now,

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -89,7 +90,11 @@ class GilbertElliott final : public FaultInjector {
 
   Params params_;
   Rng rng_;
-  std::vector<std::pair<std::uint64_t, LinkState>> links_;
+  // Keyed by (src << 32) | dst. Hashed, not scanned: a full mesh holds
+  // n*(n-1) links (~16k at n=128) and drop() consults one per delivery.
+  // Iteration order is never observed, so the container choice cannot
+  // affect the random stream or any simulated outcome.
+  std::unordered_map<std::uint64_t, LinkState> links_;
 };
 
 /// Drops every frame that ends inside one of the given [start, end) windows

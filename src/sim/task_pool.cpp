@@ -1,0 +1,52 @@
+#include "sim/task_pool.hpp"
+
+#include "common/assert.hpp"
+
+namespace turq::sim {
+
+TaskPool::TaskPool(unsigned workers) {
+  TURQ_ASSERT_MSG(workers >= 1, "TaskPool requires at least one worker");
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      fn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    fn();
+  }
+}
+
+unsigned TaskPool::resolve(unsigned intra_jobs) {
+  if (intra_jobs != 0) return intra_jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace turq::sim

@@ -1,0 +1,55 @@
+// A minimal fixed-size worker pool for intra-run host-side parallelism.
+//
+// The simulator's event loop stays single-threaded and deterministic; this
+// pool exists so that *pure* host-time work (decoding and batch-verifying a
+// broadcast exchange whose bytes are frozen at send time) can run ahead of
+// the event that consumes it. Nothing scheduled here may touch simulation
+// state — submitted tasks compute values that are pure functions of their
+// inputs, and the consuming event blocks on completion, so the observable
+// simulation is bit-identical at any worker count. See DESIGN.md §14.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace turq::sim {
+
+class TaskPool {
+ public:
+  /// Spawns `workers` threads (must be >= 1; callers wanting an inline/no-
+  /// pool configuration simply don't construct one).
+  explicit TaskPool(unsigned workers);
+
+  /// Joins after draining the queue; queued tasks all run.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `fn` for execution on some worker, FIFO.
+  void submit(std::function<void()> fn);
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Maps an --intra-jobs request to a worker count: 0 = auto-detect from
+  /// hardware_concurrency, otherwise the request itself. A result of 1
+  /// means "run inline, construct no pool".
+  [[nodiscard]] static unsigned resolve(unsigned intra_jobs);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace turq::sim

@@ -57,7 +57,7 @@ struct Config {
   void validate() const {
     TURQ_ASSERT_MSG(3 * f < n, "requires f < n/3");
     TURQ_ASSERT_MSG(2 * k > n + f && k <= n - f, "requires (n+f)/2 < k <= n-f");
-    TURQ_ASSERT_MSG(n <= 64, "sender bitmasks assume n <= 64");
+    TURQ_ASSERT_MSG(n <= 128, "sender bitsets assume n <= 128");
   }
 
   /// "more than (n+f)/2 messages" as an integer predicate.

@@ -15,6 +15,7 @@
 // own one-time keys (Byzantine processes are insiders and hold real keys).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -31,6 +32,8 @@
 #include "turquois/view.hpp"
 
 namespace turq::turquois {
+
+class ExchangePool;
 
 class Process {
  public:
@@ -61,6 +64,12 @@ class Process {
   void set_on_decide(DecideHandler handler) { on_decide_ = std::move(handler); }
   void set_on_phase(PhaseHandler handler) { on_phase_ = std::move(handler); }
   void set_mutator(Mutator mutator) { mutator_ = std::move(mutator); }
+
+  /// Shares a per-repetition prepared-exchange cache (decode + batched
+  /// authenticity, computed once per unique payload across all receivers).
+  /// Optional; without it each delivery decodes and verifies privately.
+  /// Either way the observable run is bit-identical — see exchange_pool.hpp.
+  void set_exchange_pool(ExchangePool* pool) { exchange_pool_ = pool; }
 
   [[nodiscard]] ProcessId id() const { return id_; }
   [[nodiscard]] Phase phase() const { return phase_; }
@@ -99,7 +108,14 @@ class Process {
 
   // T2.
   void on_datagram(ProcessId src, BytesView payload);
-  void ingest(const Message& m);          // authenticate + stage as pending
+  /// Stages `m` as pending after the dedup gates. `pre_verdict` carries the
+  /// batch-computed authenticity verdict (0/1); -1 falls back to the
+  /// per-message memo. Verdicts are pure, so both paths behave identically.
+  void ingest(const Message& m, int pre_verdict = -1);
+  /// The T2 body shared by both delivery paths: ingest every contained
+  /// message with its verdict, run the validation fixpoint + transitions.
+  void process_exchange(const Datagram& d,
+                        const std::vector<std::uint8_t>& auth);
   bool drain_pending();                   // fixpoint; true if V grew
   bool apply_decision_certificates();     // collective quorum acceptance
   bool run_transitions();                 // lines 10-39; true if state changed
@@ -135,6 +151,7 @@ class Process {
   std::vector<Phase> claimed_;              // per-sender max authentic phase
   CorroborationIndex corroboration_;        // senders per (phase, value)
   VerifyMemo verify_memo_;                  // collapses repeat ots_verify calls
+  ExchangePool* exchange_pool_ = nullptr;   // optional shared prepared cache
   std::optional<Message> jump_source_;      // justification for a jumped phase
   bool running_ = false;
   bool halted_ = false;
@@ -146,6 +163,45 @@ class Process {
   // consecutive ticks re-sent it (escalation counter).
   std::optional<std::tuple<Phase, Value, Status>> last_sent_;
   std::uint32_t repeat_count_ = 0;
+
+  // Memos for the broadcast path. A stalled process re-sends the same
+  // justified state every tick, reassembling (and re-encoding) up to 42
+  // attachments from fresh view scans each time — the single hottest host
+  // cost at n=128. Both caches key on a *fingerprint* of exactly the view
+  // state the assembly reads: the broadcast tuple plus the message count
+  // of each phase book the justification rules consult (phase 1, φ-1,
+  // φ-2, the decide phase, and the lock/decide phases below φ). Phase
+  // books only grow, and every selection rule (quorum thresholds,
+  // first-`want` picks in sender order) changes its output only when one
+  // of those books gains a message — which bumps that book's count. The
+  // jump_source_ and decide_phase_ inputs only ever change together with
+  // phase or status, which the tuple already carries.
+  struct BroadcastFingerprint {
+    Phase phase = 0;
+    Value value = Value::kZero;
+    Status status = Status::kUndecided;
+    bool from_coin = false;
+    bool root_evidence = false;
+    std::array<std::size_t, 6> phase_counts{};
+    bool operator==(const BroadcastFingerprint&) const = default;
+  };
+  [[nodiscard]] BroadcastFingerprint fingerprint(bool root_evidence) const;
+
+  struct JustificationCache {
+    std::optional<BroadcastFingerprint> key;
+    std::vector<Message> messages;
+  };
+  mutable JustificationCache just_cache_;
+
+  // Whole-payload memo: when the fingerprint matches and no Byzantine
+  // mutator is installed (a mutator may consume randomness, so it must
+  // run every time), the previously encoded datagram bytes are re-sent
+  // verbatim. Covers justification assembly, signing, and encoding.
+  struct EncodedCache {
+    std::optional<BroadcastFingerprint> key;
+    Bytes payload;
+  };
+  EncodedCache encoded_cache_;
 
   DecideHandler on_decide_;
   PhaseHandler on_phase_;

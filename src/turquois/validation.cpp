@@ -30,6 +30,80 @@ bool VerifyMemo::check(const KeyInfrastructure& keys, const Config& cfg,
   return ok;
 }
 
+void VerifyMemo::check_batch(const KeyInfrastructure& keys, const Config& cfg,
+                             const Datagram& d,
+                             std::vector<std::uint8_t>& out) {
+  const std::size_t contained = d.justification.size() + 1;
+  const auto msg_at = [&](std::size_t i) -> const Message& {
+    return i < d.justification.size() ? d.justification[i] : d.main;
+  };
+  out.assign(contained, 0);
+
+  struct Miss {
+    std::size_t index;
+    std::uint64_t key;
+  };
+  std::vector<Miss> misses;
+  // Aliases: (message index, index into `misses`) for messages identical to
+  // an earlier miss of this same batch — sequential check() would have
+  // memoized that first miss already and scored these as hits.
+  std::vector<std::pair<std::size_t, std::size_t>> aliases;
+
+  for (std::size_t i = 0; i < contained; ++i) {
+    const Message& m = msg_at(i);
+    if (m.sender >= cfg.n) continue;  // out[i] stays false, no counters
+    const std::uint64_t key = (static_cast<std::uint64_t>(m.phase) << 16) |
+                              (static_cast<std::uint64_t>(m.sender) << 8) |
+                              static_cast<std::uint64_t>(m.value);
+    bool found = false;
+    for (const Entry& e : cache_[key]) {
+      if (e.sk == m.auth_sk) {
+        ++hits_;
+        out[i] = e.ok ? 1 : 0;
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    bool aliased = false;
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+      const Message& prior = msg_at(misses[j].index);
+      if (misses[j].key == key && prior.auth_sk == m.auth_sk) {
+        ++hits_;
+        aliases.emplace_back(i, j);
+        aliased = true;
+        break;
+      }
+    }
+    if (!aliased) {
+      ++misses_;
+      misses.push_back({i, key});
+    }
+  }
+
+  if (misses.empty()) return;
+  std::vector<crypto::OtsCheck> checks(misses.size());
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    const Message& m = msg_at(misses[j].index);
+    checks[j] = {.vk_array = &keys.verification_keys(m.sender),
+                 .phase = m.phase,
+                 .v = m.value,
+                 .revealed_sk = m.auth_sk};
+  }
+  std::vector<std::uint8_t> ok(misses.size(), 0);
+  crypto::ots_verify_batch(checks.data(), checks.size(),
+                           reinterpret_cast<bool*>(ok.data()));
+  for (std::size_t j = 0; j < misses.size(); ++j) {
+    const Message& m = msg_at(misses[j].index);
+    out[misses[j].index] = ok[j];
+    std::vector<Entry>& entries = cache_[misses[j].key];
+    if (entries.size() < kMaxEntriesPerKey) {
+      entries.push_back({m.auth_sk, ok[j] != 0});
+    }
+  }
+  for (const auto& [i, j] : aliases) out[i] = ok[j];
+}
+
 Phase SemanticValidator::highest_lock_phase_below(Phase phase) {
   if (phase <= 2) return 0;
   switch (phase % 3) {
@@ -63,8 +137,7 @@ bool SemanticValidator::corroborated(const Message& m) const {
   const auto it = corroboration_->find(
       {m.phase, static_cast<std::uint8_t>(m.value)});
   if (it == corroboration_->end()) return false;
-  return static_cast<std::uint32_t>(__builtin_popcountll(it->second)) >=
-         cfg_.f + 1;
+  return it->second.count() >= cfg_.f + 1;
 }
 
 bool SemanticValidator::has_decide_quorum(Phase phase, Value v) const {

@@ -12,9 +12,11 @@
 // when V grows.
 #pragma once
 
+#include <map>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sender_set.hpp"
 #include "turquois/config.hpp"
 #include "turquois/key_infra.hpp"
 #include "turquois/message.hpp"
@@ -40,6 +42,14 @@ class VerifyMemo {
   bool check(const KeyInfrastructure& keys, const Config& cfg,
              const Message& m);
 
+  /// Per-exchange batch queue: verdicts, memo mutations, and hit/miss
+  /// counters all identical to calling check() once per message of the
+  /// datagram in order (justification entries first, main last, matching
+  /// Prepared::auth layout) — but the cache misses are hashed 8 per
+  /// compression sweep via ots_verify_batch instead of one at a time.
+  void check_batch(const KeyInfrastructure& keys, const Config& cfg,
+                   const Datagram& d, std::vector<std::uint8_t>& out);
+
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
 
@@ -58,11 +68,11 @@ class VerifyMemo {
   std::uint64_t misses_ = 0;
 };
 
-/// Distinct authentic senders seen per (phase, value), as a sender bitmask
-/// (deployments here have n <= 64). Maintained by the process across both
-/// the validated view and the pending pool.
+/// Distinct authentic senders seen per (phase, value), as a sender bitset
+/// (deployments here have n <= SenderSet::kCapacity = 128). Maintained by
+/// the process across both the validated view and the pending pool.
 using CorroborationIndex =
-    std::map<std::pair<Phase, std::uint8_t>, std::uint64_t>;
+    std::map<std::pair<Phase, std::uint8_t>, SenderSet>;
 
 class SemanticValidator {
  public:

@@ -32,6 +32,7 @@ bool View::insert(const Message& m) {
   PhaseBook& book = phases_[m.phase];
   const auto [it, inserted] = book.by_sender.emplace(m.sender, m);
   if (!inserted) return false;
+  if (m.sender < SenderSet::kCapacity) book.senders.insert(m.sender);
   ++book.value_count[static_cast<std::size_t>(m.value)];
   ++total_;
   if (highest_ == nullptr || m.phase > highest_->phase ||
@@ -43,7 +44,9 @@ bool View::insert(const Message& m) {
 
 bool View::has(ProcessId sender, Phase phase) const {
   const auto it = phases_.find(phase);
-  return it != phases_.end() && it->second.by_sender.contains(sender);
+  if (it == phases_.end()) return false;
+  if (sender < SenderSet::kCapacity) return it->second.senders.contains(sender);
+  return it->second.by_sender.contains(sender);
 }
 
 std::size_t View::count_phase(Phase phase) const {
@@ -59,27 +62,23 @@ std::size_t View::count_phase_value(Phase phase, Value v) const {
 }
 
 std::size_t View::count_phase_at_least(Phase phase) const {
-  // Distinct senders with any message at phase >= `phase`.
-  std::uint64_t seen_mask_small = 0;  // fast path for sender ids < 64
+  // Distinct senders with any message at phase >= `phase`: union the
+  // per-phase bitsets; ids beyond the bitset capacity (hand-built test
+  // views only) fall back to a scan.
+  SenderSet seen;
   std::vector<ProcessId> seen_large;
-  std::size_t count = 0;
   for (auto it = phases_.lower_bound(phase); it != phases_.end(); ++it) {
-    for (const auto& [sender, msg] : it->second.by_sender) {
-      if (sender < 64) {
-        const std::uint64_t bit = 1ULL << sender;
-        if (seen_mask_small & bit) continue;
-        seen_mask_small |= bit;
-        ++count;
-      } else {
-        bool dup = false;
-        for (const ProcessId s : seen_large) dup |= (s == sender);
-        if (dup) continue;
-        seen_large.push_back(sender);
-        ++count;
-      }
+    const PhaseBook& book = it->second;
+    seen |= book.senders;
+    if (book.senders.count() == book.by_sender.size()) continue;
+    for (const auto& [sender, msg] : book.by_sender) {
+      if (sender < SenderSet::kCapacity) continue;
+      bool dup = false;
+      for (const ProcessId s : seen_large) dup |= (s == sender);
+      if (!dup) seen_large.push_back(sender);
     }
   }
-  return count;
+  return seen.count() + seen_large.size();
 }
 
 Value View::majority_value(Phase phase) const {

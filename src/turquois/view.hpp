@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/sender_set.hpp"
 #include "common/types.hpp"
 #include "turquois/message.hpp"
 
@@ -87,6 +88,12 @@ class View {
  private:
   struct PhaseBook {
     std::map<ProcessId, Message> by_sender;
+    /// Mirrors by_sender's keys below SenderSet::kCapacity — has() is the
+    /// hottest query (every ingest gate at every receiver) and the bitset
+    /// answers it without walking the tree. Larger ids (possible only in
+    /// hand-built unit-test views; deployments cap n at 128) stay on the
+    /// map path.
+    SenderSet senders;
     std::size_t value_count[3] = {0, 0, 0};
   };
 

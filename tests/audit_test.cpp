@@ -257,18 +257,18 @@ TEST(AuditScenario, BaselinesAreAuditedToo) {
   }
 }
 
-TEST(AuditScenario, GroupsBeyondBitmaskWidthAreRejected) {
-  // Regression for the sender<64 bitmask assumption: n > 64 must be
+TEST(AuditScenario, GroupsBeyondBitsetWidthAreRejected) {
+  // Regression for the sender<128 bitset assumption: n > 128 must be
   // rejected up front by validate(), not silently mis-counted deep in
   // apply_decision_certificates().
   ScenarioConfig cfg;
   cfg.protocol = Protocol::kTurquois;
-  cfg.n = 65;
+  cfg.n = 129;
   cfg.repetitions = 1;
   const std::optional<std::string> err = validate(cfg);
   ASSERT_TRUE(err.has_value());
-  EXPECT_NE(err->find("64"), std::string::npos);
-  EXPECT_THROW((void)ScenarioBuilder{}.group_size(65).build(),
+  EXPECT_NE(err->find("128"), std::string::npos);
+  EXPECT_THROW((void)ScenarioBuilder{}.group_size(129).build(),
                std::invalid_argument);
 }
 

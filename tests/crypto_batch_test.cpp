@@ -1,0 +1,213 @@
+// Equivalence tests for the 8-way batched SHA-256 path (sha256_batch.hpp)
+// against the scalar context: NIST CAVP short-message vectors, random
+// lengths straddling block boundaries, batched HMAC, batched OTS, and the
+// batched key-chain generator. Every test runs under both implementations
+// (scalar-lanes and whatever kAuto resolves to on this machine).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/onetime_sig.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha256_batch.hpp"
+
+namespace turq::crypto {
+namespace {
+
+class Sha256BatchTest : public ::testing::TestWithParam<Sha256Impl> {
+ protected:
+  void SetUp() override { sha256_batch_force_impl(GetParam()); }
+  void TearDown() override { sha256_batch_force_impl(Sha256Impl::kAuto); }
+};
+
+// NIST CAVP SHA256ShortMsg.rsp excerpts (msg hex, digest hex).
+struct CavpVector {
+  const char* msg;
+  const char* digest;
+};
+
+constexpr CavpVector kCavp[] = {
+    {"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+    {"d3", "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1"},
+    {"11af", "5ca7133fa735326081558ac312c620eeca9970d1e70a4b95533d956f072d1f98"},
+    {"b4190e", "dff2e73091f6c05e528896c4c831b9448653dc2ff043528f6769437bc7b975c2"},
+    {"74ba2521", "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e"},
+    {"c299209682", "f0887fe961c9cd3beab957e8222494abb969b1ce4c6557976df8b0f6d20e9166"},
+    {"e1dc724d5621", "eca0a060b489636225b4fa64d267dabbe44273067ac679f20820bddc6b6a90ac"},
+    {"06e076f5a442d5", "3fd877e27450e6bbd5d74bb82f9870c64c66e109418baa8e6bbcff355e287926"},
+    {"5738c929c4f4ccb6", "963bb88f27f512777aab6c8b1a02c70ec0ad651d428f870036e1917120fb48bf"},
+    {"3334c58075d3f4139e", "078da3d77ed43bd3037a433fd0341855023793f9afd08b4b08ea1e5597ceef20"},
+    {"0a27847cdc98bd6f62220b046edd762b",
+     "80c25ec1600587e7f28b18b1b18e3cdc89928e39cab3bc25e4d4a4c139bcedc4"},
+    {"c98c8e55a0afe5d49d4ea24b8f4d6161454d7e2f8857e3c934d213a17541b21f",
+     "16d6a457ec595d6413f2906e30354ff11b309c8dce9d2b35ad4551611950a15c"},
+};
+
+TEST_P(Sha256BatchTest, CavpVectors) {
+  std::vector<Bytes> msgs;
+  std::vector<BytesView> views;
+  for (const auto& v : kCavp) msgs.push_back(from_hex(v.msg));
+  for (const auto& m : msgs) views.emplace_back(m);
+  std::vector<Digest> out(views.size());
+  sha256_batch(views.data(), views.size(), out.data());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(to_hex(digest_bytes(out[i])), kCavp[i].digest) << "i=" << i;
+    EXPECT_EQ(out[i], Sha256::hash(views[i])) << "i=" << i;
+  }
+}
+
+TEST_P(Sha256BatchTest, RandomLengthsStraddlingBlockBoundaries) {
+  Rng rng(0x5eedu);
+  std::vector<Bytes> msgs;
+  // Deliberately hit every interesting padding regime: 55/56/57 (one- vs
+  // two-block tail), exact multiples of 64, and random lengths up to 4 KiB.
+  for (const std::size_t len : {0u, 1u, 54u, 55u, 56u, 57u, 63u, 64u, 65u,
+                                119u, 120u, 121u, 127u, 128u, 129u}) {
+    Bytes b(len);
+    for (auto& c : b) c = static_cast<std::uint8_t>(rng.next());
+    msgs.push_back(std::move(b));
+  }
+  for (int i = 0; i < 40; ++i) {
+    Bytes b(rng.next() % 4096);
+    for (auto& c : b) c = static_cast<std::uint8_t>(rng.next());
+    msgs.push_back(std::move(b));
+  }
+  std::vector<BytesView> views(msgs.begin(), msgs.end());
+  std::vector<Digest> out(views.size());
+  sha256_batch(views.data(), views.size(), out.data());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(out[i], Sha256::hash(views[i]))
+        << "len=" << views[i].size() << " i=" << i;
+  }
+}
+
+TEST_P(Sha256BatchTest, EveryPartialGroupSize) {
+  // Counts 0..17 cover empty, every partial lane group, and 2+ full sweeps.
+  for (std::size_t count = 0; count <= 2 * kSha256Lanes + 1; ++count) {
+    std::vector<Bytes> msgs;
+    for (std::size_t i = 0; i < count; ++i) {
+      msgs.emplace_back(i * 17 + 3, static_cast<std::uint8_t>(i));
+    }
+    std::vector<BytesView> views(msgs.begin(), msgs.end());
+    std::vector<Digest> out(count);
+    sha256_batch(views.data(), count, out.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[i], Sha256::hash(views[i]))
+          << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST_P(Sha256BatchTest, ResumeMatchesScalarFromBlockBoundary) {
+  Rng rng(0xabcdu);
+  Bytes stream(64 * 3 + 37);
+  for (auto& c : stream) c = static_cast<std::uint8_t>(rng.next());
+  for (const std::size_t prefix : {64u, 128u, 192u}) {
+    Sha256 ctx;
+    ctx.update(BytesView(stream.data(), prefix));
+    Sha256Resume lane{.state = ctx.state_words(),
+                      .prefix_len = ctx.bytes_absorbed(),
+                      .data = BytesView(stream.data() + prefix,
+                                        stream.size() - prefix)};
+    Digest out;
+    sha256_batch_resume(&lane, 1, &out);
+    EXPECT_EQ(out, Sha256::hash(stream)) << "prefix=" << prefix;
+  }
+}
+
+TEST_P(Sha256BatchTest, HmacBatchMatchesScalar) {
+  Rng rng(0x77u);
+  std::vector<HmacKey> keys;
+  std::vector<Bytes> msgs;
+  for (int i = 0; i < 11; ++i) {
+    Bytes k(16 + i * 7);
+    for (auto& c : k) c = static_cast<std::uint8_t>(rng.next());
+    keys.emplace_back(BytesView(k));
+    Bytes m(rng.next() % 300);
+    for (auto& c : m) c = static_cast<std::uint8_t>(rng.next());
+    msgs.push_back(std::move(m));
+  }
+  std::vector<HmacJob> jobs(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    jobs[i] = {.key = &keys[i], .message = msgs[i]};
+  }
+  std::vector<Digest> out(jobs.size());
+  hmac_sha256_batch(jobs.data(), jobs.size(), out.data());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(out[i], keys[i].mac(msgs[i])) << "i=" << i;
+  }
+}
+
+TEST_P(Sha256BatchTest, OtsBatchMatchesScalar) {
+  Rng rng(0x1234u);
+  const OneTimeKeyChain chain = OneTimeKeyChain::generate(0, 1, 9, rng);
+  const VerificationKeyArray& vks = chain.public_keys();
+  std::vector<OtsCheck> checks;
+  std::vector<Bytes> tampered;
+  tampered.reserve(32);
+  for (Phase phase = 1; phase <= 9; ++phase) {
+    for (const Value v : {Value::kZero, Value::kOne, Value::kBottom}) {
+      if (!ots_value_allowed(phase, v)) continue;
+      checks.push_back({&vks, phase, v, chain.secret_key(phase, v)});
+      // A tampered secret and a phase/value mismatch must both fail.
+      tampered.push_back(chain.secret_key(phase, v));
+      tampered.back()[0] ^= 1;
+      checks.push_back({&vks, phase, v, tampered.back()});
+    }
+  }
+  checks.push_back({&vks, 99, Value::kZero, chain.secret_key(1, Value::kZero)});
+  checks.push_back({nullptr, 1, Value::kZero, {}});
+
+  std::vector<bool> expected;
+  for (const OtsCheck& c : checks) {
+    expected.push_back(c.vk_array != nullptr &&
+                       ots_verify(*c.vk_array, c.phase, c.v, c.revealed_sk));
+  }
+  std::vector<std::uint8_t> got(checks.size(), 0xFF);
+  ots_verify_batch(checks.data(), checks.size(),
+                   reinterpret_cast<bool*>(got.data()));
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    EXPECT_EQ(static_cast<bool>(got[i]), expected[i]) << "i=" << i;
+  }
+}
+
+TEST_P(Sha256BatchTest, KeyChainGenerationIsImplIndependent) {
+  // Key bytes and VKs must not depend on which compressor derived them —
+  // the scalar reference is OneTimeKeyChain under the other impl plus
+  // direct scalar hashing of each secret.
+  Rng rng_a(42), rng_b(42);
+  const OneTimeKeyChain a = OneTimeKeyChain::generate(3, 1, 12, rng_a);
+  sha256_batch_force_impl(Sha256Impl::kScalarLanes);
+  const OneTimeKeyChain b = OneTimeKeyChain::generate(3, 1, 12, rng_b);
+  EXPECT_EQ(rng_a.next(), rng_b.next());  // identical stream consumption
+  for (Phase phase = 1; phase <= 12; ++phase) {
+    for (const Value v : {Value::kZero, Value::kOne, Value::kBottom}) {
+      if (!ots_value_allowed(phase, v)) continue;
+      EXPECT_EQ(a.secret_key(phase, v), b.secret_key(phase, v));
+      EXPECT_EQ(a.public_keys().key(phase, v),
+                Sha256::hash(a.secret_key(phase, v)));
+    }
+  }
+  EXPECT_EQ(a.public_keys().serialize(), b.public_keys().serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impls, Sha256BatchTest,
+    ::testing::Values(Sha256Impl::kScalarLanes, Sha256Impl::kAuto),
+    [](const ::testing::TestParamInfo<Sha256Impl>& pinfo) {
+      return pinfo.param == Sha256Impl::kAuto ? "Auto" : "ScalarLanes";
+    });
+
+TEST(Sha256Batch, ForcedAvx2ResolvesSomewhere) {
+  sha256_batch_force_impl(Sha256Impl::kAvx2);
+  const Sha256Impl got = sha256_batch_resolved_impl();
+  EXPECT_TRUE(got == Sha256Impl::kAvx2 || got == Sha256Impl::kScalarLanes);
+  sha256_batch_force_impl(Sha256Impl::kAuto);
+  EXPECT_NE(sha256_batch_resolved_impl(), Sha256Impl::kAuto);
+}
+
+}  // namespace
+}  // namespace turq::crypto

@@ -1,0 +1,145 @@
+// Bit-identity tests for the intra-repetition acceleration paths: the
+// shared prepared-exchange cache (turquois/exchange_pool.hpp) and its
+// TaskPool lookahead workers (--intra-jobs) must leave every simulated
+// observable untouched — pooled statistics, the JSON report, the trace
+// stream, and the consensus-audit verdicts — for a multi-hop spatial run
+// at the largest pre-PR group size (n = 64) and for the legacy
+// per-receiver verification path (exchange_pool = false).
+//
+// These are end-to-end companions to the unit-level guarantees: verdicts
+// are pure functions of (payload bytes, key infrastructure), fills are
+// claim-raced but their contents payload-determined, and the commit stage
+// stays serial. See DESIGN.md §14.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/scheduler.hpp"
+#include "trace/sink.hpp"
+#include "trace/trace.hpp"
+
+namespace turq::harness {
+namespace {
+
+/// A multi-hop n = 64 Turquois scenario on the large-n channel shape
+/// (11 Mbps, 40 ms tick): grid placement with waypoint motion, gossip
+/// relay on, consensus audit on. Two repetitions keep the test quick
+/// while still crossing a repetition boundary (pool lifetime is per rep).
+ScenarioConfig spatial_n64(std::uint32_t intra_jobs, bool pool) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kTurquois;
+  cfg.n = 64;
+  cfg.distribution = ProposalDist::kDivergent;
+  cfg.repetitions = 2;
+  cfg.seed = 0x1A46E;
+  cfg.intra_jobs = intra_jobs;
+  cfg.exchange_pool = pool;
+  cfg.tick_interval = 40 * kMillisecond;
+  cfg.medium.broadcast_rate_bps = 11e6;
+  cfg.spatial.placement = spatial::Placement::kGrid;
+  cfg.spatial.radius_m = 180.0;
+  cfg.spatial.mobility = spatial::Mobility::kWaypoint;
+  return cfg;
+}
+
+std::string strip_environment(const std::string& json) {
+  std::string out;
+  std::istringstream in(json);
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("\"environment\"") == std::string::npos) out += line + "\n";
+  }
+  return out;
+}
+
+std::string report_for(const ScenarioConfig& cfg) {
+  BenchReport report;
+  report.name = "intra_jobs_test";
+  report.seed = cfg.seed;
+  report.jobs = cfg.jobs;
+  report.intra_jobs = cfg.intra_jobs;
+  report.wall_seconds = cfg.intra_jobs * 0.25;  // differs per run on purpose
+  report.cells.push_back(make_cell(run_scenario(cfg)));
+  return to_json(report);
+}
+
+TEST(IntraJobs, SpatialN64StatsIdenticalSerialVsAuto) {
+  const ScenarioResult serial = run_scenario(spatial_n64(1, true));
+  const ScenarioResult parallel = run_scenario(spatial_n64(0, true));
+
+  EXPECT_EQ(serial.latency_ms.samples(), parallel.latency_ms.samples());
+  EXPECT_EQ(serial.failed_runs, parallel.failed_runs);
+  EXPECT_EQ(serial.safety_violations, parallel.safety_violations);
+  EXPECT_EQ(serial.medium_total.broadcast_frames,
+            parallel.medium_total.broadcast_frames);
+  EXPECT_EQ(serial.medium_total.deliveries, parallel.medium_total.deliveries);
+  EXPECT_EQ(serial.medium_total.collisions, parallel.medium_total.collisions);
+  EXPECT_EQ(serial.medium_total.airtime, parallel.medium_total.airtime);
+
+  // The consensus auditor saw byte-identical histories.
+  ASSERT_TRUE(serial.audit.has_value());
+  ASSERT_TRUE(parallel.audit.has_value());
+  EXPECT_EQ(*serial.audit, *parallel.audit);
+  EXPECT_TRUE(serial.audit->passed());
+
+  // Multi-hop counters too: the relay path routes every Turquois frame.
+  ASSERT_TRUE(serial.spatial_total.has_value());
+  ASSERT_TRUE(parallel.spatial_total.has_value());
+  EXPECT_EQ(serial.spatial_total->relay_deliveries,
+            parallel.spatial_total->relay_deliveries);
+  EXPECT_EQ(serial.spatial_total->relay_forwards,
+            parallel.spatial_total->relay_forwards);
+}
+
+TEST(IntraJobs, SpatialN64JsonIdenticalModuloEnvironment) {
+  const std::string serial = report_for(spatial_n64(1, true));
+  const std::string parallel = report_for(spatial_n64(0, true));
+  EXPECT_NE(serial, parallel);  // environment records the actual intra_jobs
+  EXPECT_EQ(strip_environment(serial), strip_environment(parallel));
+}
+
+TEST(IntraJobs, SpatialN64TraceIdenticalSerialVsAuto) {
+#if !TURQ_TRACE_ENABLED
+  GTEST_SKIP() << "built with TURQ_TRACE_DISABLED";
+#endif
+  const auto trace_for = [](std::uint32_t intra_jobs) {
+    std::ostringstream out;
+    trace::JsonlSink sink(out);
+    ScenarioConfig cfg = spatial_n64(intra_jobs, true);
+    cfg.repetitions = 1;  // tracing is voluminous; one rep suffices
+    cfg.trace_sink = &sink;
+    (void)run_scenario(cfg);
+    return out.str();
+  };
+  const std::string serial = trace_for(1);
+  const std::string parallel = trace_for(0);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(IntraJobs, ExchangePoolOffIsBitIdenticalToo) {
+  // The pool itself (serial or parallel) must match the legacy
+  // decode-per-receiver path exactly: the report bytes collapse the full
+  // observable surface (latencies, medium, audit, spatial counters).
+  const std::string legacy = report_for(spatial_n64(1, false));
+  const std::string pooled = report_for(spatial_n64(1, true));
+  const std::string parallel = report_for(spatial_n64(0, true));
+  EXPECT_EQ(strip_environment(legacy), strip_environment(pooled));
+  EXPECT_EQ(strip_environment(legacy), strip_environment(parallel));
+}
+
+TEST(IntraJobs, ComposesWithRepetitionJobs) {
+  // intra_jobs parallelism nests inside jobs parallelism; the combination
+  // must stay deterministic as well (each repetition gets its own pool).
+  ScenarioConfig inner = spatial_n64(0, true);
+  inner.jobs = 2;
+  const ScenarioResult both = run_scenario(inner);
+  const ScenarioResult serial = run_scenario(spatial_n64(1, true));
+  EXPECT_EQ(serial.latency_ms.samples(), both.latency_ms.samples());
+  EXPECT_EQ(serial.medium_total.deliveries, both.medium_total.deliveries);
+}
+
+}  // namespace
+}  // namespace turq::harness

@@ -7,7 +7,12 @@
 # 1. Link check: every relative markdown link in the repo's *.md files
 #    must point at an existing file (external http(s) links are skipped —
 #    CI has no network guarantee).
-# 2. Flag check: every `--flag` mentioned in README.md must appear in the
+# 2. Baseline check: the committed BENCH_*.json baselines and the docs
+#    must agree — every committed baseline is referenced from README.md
+#    or EXPERIMENTS.md (an orphan baseline is stale), every baseline the
+#    docs/CI/gate scripts name exists in the repo (a dangling reference
+#    means a renamed or deleted file), and each carries a "schema" line.
+# 3. Flag check: every `--flag` mentioned in README.md must appear in the
 #    --help/usage output of at least one built binary, so the README can
 #    never document a flag that doesn't exist. Needs a build; skipped
 #    under --links-only.
@@ -51,11 +56,39 @@ for md in *.md; do
 done
 [ "$fail" -eq 0 ] && echo "links ok"
 
+# ------------------------------------------------------------ 2. baselines --
+echo "== BENCH baseline drift check =="
+for bench in BENCH_*.json; do
+  [ -e "$bench" ] || continue
+  if ! grep -q '"schema"' "$bench"; then
+    echo "NO SCHEMA: $bench has no \"schema\" field"
+    fail=1
+  fi
+  if ! grep -qF -- "$bench" README.md EXPERIMENTS.md; then
+    echo "ORPHAN BASELINE: $bench is committed but neither README.md nor"
+    echo "  EXPERIMENTS.md mentions it"
+    fail=1
+  fi
+done
+# Dangling references the other way: every BENCH_<name>.json the docs, CI
+# config, or perf gate name must exist (wildcard references like
+# BENCH_campaign_*.json don't match the pattern and are skipped).
+while IFS= read -r ref; do
+  if [ ! -e "$ref" ]; then
+    echo "MISSING BASELINE: docs/CI reference $ref but it is not committed"
+    fail=1
+  fi
+done < <(grep -ohE 'BENCH_[A-Za-z0-9_]+\.json' \
+           README.md EXPERIMENTS.md .github/workflows/ci.yml \
+           tools/check_perf.sh | sort -u |
+         grep -vE '^BENCH_(table2_fail_stop|table3_byzantine|ablation_[a-z]+|campaign[A-Za-z0-9_]*)\.json$')
+[ "$fail" -eq 0 ] && echo "baselines ok"
+
 if [ "$links_only" -eq 1 ]; then
   exit "$fail"
 fi
 
-# ---------------------------------------------------------------- 2. flags --
+# ---------------------------------------------------------------- 3. flags --
 # Flags whose documentation in README refers to third-party tools (cmake,
 # ctest, google-benchmark) rather than to our binaries.
 ignore_flags="--output-on-failure --test-dir --benchmark_out --build"
@@ -67,6 +100,7 @@ binaries=(
   "$build_dir/tools/turquois_fuzz"
   "$build_dir/tools/trace_inspect"
   "$build_dir/bench/table1_failure_free"
+  "$build_dir/bench/large_n"
   "$build_dir/bench/ablation_sigma"
   "$build_dir/bench/ablation_medium"
   "$build_dir/bench/ablation_timeout"

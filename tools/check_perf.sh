@@ -4,15 +4,23 @@
 # (default 30%), or when the steady-state allocation count is non-zero.
 #
 # Usage: tools/check_perf.sh <current.json> [baseline.json] [max_regression]
-#   current.json    report from `bench/sim_micro --quick --json ...` or
-#                   `bench/spatial_grid --quick --json ...`
+#   current.json    report from `bench/sim_micro --quick --json ...`,
+#                   `bench/spatial_grid --quick --json ...`, or
+#                   `bench/large_n --quick --perf-json ...`
 #   baseline.json   committed reference (default: BENCH_sim_micro.json;
-#                   pass BENCH_spatial_grid.json for the spatial bench)
+#                   pass BENCH_spatial_grid.json / BENCH_large_n.json for
+#                   the other benches)
 #   max_regression  allowed fractional drop, 0..1 (default: 0.30)
 #
 # The zero-allocation gate applies only when the report carries a
 # steady_state_allocs field: sim_micro's event loop must stay allocation
 # free, while spatial_grid's relay allocates by design and omits the field.
+#
+# The speedup gate applies only when the report carries a
+# speedup_vs_legacy field (bench/large_n): the pooled exchange path must
+# stay at least `min_speedup` (1.20) faster than the per-receiver legacy
+# verification leg of the *same run* — a machine-independent ratio, so it
+# is a hard floor rather than a baseline comparison.
 #
 # Throughput is machine-dependent, so the gate is deliberately loose: it
 # catches algorithmic regressions (an accidental O(n) scan, a re-introduced
@@ -31,6 +39,8 @@ metric() {
 cur_events=$(metric events_per_sec "$current")
 base_events=$(metric events_per_sec "$baseline")
 cur_allocs=$(metric steady_state_allocs "$current")
+cur_speedup=$(metric speedup_vs_legacy "$current")
+min_speedup="1.20"
 
 if [ -z "$cur_events" ] || [ -z "$base_events" ]; then
   echo "check_perf: missing events_per_sec in $current or $baseline" >&2
@@ -40,6 +50,19 @@ fi
 if [ -n "$cur_allocs" ] && [ "$cur_allocs" != "0" ]; then
   echo "check_perf: FAIL — steady_state_allocs=$cur_allocs (expected 0)" >&2
   exit 1
+fi
+
+if [ -n "$cur_speedup" ]; then
+  awk -v cur="$cur_speedup" -v floor="$min_speedup" '
+    BEGIN {
+      printf "check_perf: speedup_vs_legacy current=%.2fx floor=%.2fx\n",
+             cur, floor;
+      if (cur < floor) {
+        printf "check_perf: FAIL — exchange-pool speedup below %.2fx\n",
+               floor > "/dev/stderr";
+        exit 1;
+      }
+    }'
 fi
 
 awk -v cur="$cur_events" -v base="$base_events" -v max="$max_regression" '

@@ -20,6 +20,7 @@
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "harness/scheduler.hpp"
+#include "sim/task_pool.hpp"
 #include "trace/sink.hpp"
 
 using namespace turq;
@@ -32,7 +33,7 @@ namespace {
       stderr,
       "usage: %s [options]\n"
       "  --protocol turquois|abba|bracha   (default turquois)\n"
-      "  --n <4..64>                       group size (default 7)\n"
+      "  --n <4..128>                      group size (default 7)\n"
       "  --dist unanimous|divergent        proposal distribution\n"
       "  --faults <plan>                   fault plan: a named plan (none|\n"
       "                                    failstop|byzantine|jamming|churn|\n"
@@ -71,6 +72,15 @@ namespace {
       "                                    (default 1, 0 = auto-detect);\n"
       "                                    results are bit-identical for\n"
       "                                    any N\n"
+      "  --intra-jobs <N>                  lookahead workers *inside* each\n"
+      "                                    repetition, pre-verifying queued\n"
+      "                                    frames during airtime (default 1,\n"
+      "                                    0 = auto-detect); bit-identical\n"
+      "                                    for any N (Turquois only)\n"
+      "  --no-exchange-pool                decode + verify each delivery\n"
+      "                                    privately per receiver instead of\n"
+      "                                    once per unique payload\n"
+      "                                    (bit-identical, slower)\n"
       "  --json <path>                     write the pooled result as a\n"
       "                                    machine-readable report\n"
       "  --no-audit                        skip the consensus-property\n"
@@ -183,6 +193,10 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--jobs") {
       cfg.jobs = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--intra-jobs") {
+      cfg.intra_jobs = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--no-exchange-pool") {
+      cfg.exchange_pool = false;
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--verbose") {
@@ -200,7 +214,7 @@ int main(int argc, char** argv) {
   }
 
   if (const auto reason = validate(cfg)) {
-    // validate() covers the whole surface, including the n <= 64 sender-
+    // validate() covers the whole surface, including the n <= 128 sender-
     // bitmask ceiling the CLI used to special-case.
     std::fprintf(stderr, "invalid scenario: %s\n", reason->c_str());
     return 2;
@@ -259,6 +273,7 @@ int main(int argc, char** argv) {
     report.name = "turquois_sim";
     report.seed = cfg.seed;
     report.jobs = effective_jobs(cfg.jobs);
+    report.intra_jobs = sim::TaskPool::resolve(cfg.intra_jobs);
     report.wall_seconds = wall;
     report.cells.push_back(make_cell(r));
     if (!write_json_report(report, json_path)) return 2;
