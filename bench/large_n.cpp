@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/sha256_batch.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "harness/scheduler.hpp"
@@ -257,12 +258,20 @@ int main(int argc, char** argv) {
       std::fprintf(f, "    \"%s\": %.3f%s\n", key.c_str(), value,
                    ++emitted == perf.size() ? "" : ",");
     }
+    // The environment line records what this run *actually* executed with —
+    // worker counts, the SHA-256 implementation kAuto resolved to on this
+    // machine, and the legs the sweep ran — not the compile-time defaults.
+    // It is excluded from the determinism contract (see report.hpp).
     std::fprintf(f,
                  "  },\n"
                  "  \"environment\": {\"jobs\": %u, \"intra_jobs\": %u, "
+                 "\"sha256_impl\": \"%s\", \"legs\": "
+                 "[\"legacy\", \"pooled\", \"parallel\"], "
                  "\"wall_clock_seconds\": %.3f}\n"
                  "}\n",
-                 report.jobs, report.intra_jobs, total_wall);
+                 report.jobs, report.intra_jobs,
+                 crypto::to_string(crypto::sha256_batch_resolved_impl()),
+                 total_wall);
     std::fclose(f);
     std::fprintf(stderr, "perf report: %s\n", perf_path.c_str());
   }

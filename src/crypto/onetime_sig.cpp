@@ -93,6 +93,21 @@ OneTimeKeyChain OneTimeKeyChain::generate(ProcessId owner, Phase first_phase,
   return chain;
 }
 
+OneTimeKeyChain OneTimeKeyChain::from_parts(std::vector<Bytes> secrets,
+                                            VerificationKeyArray keys) {
+  std::size_t slots = 0;
+  for (Phase p = keys.first_phase(); p < keys.first_phase() + keys.num_phases();
+       ++p) {
+    slots += VerificationKeyArray::slots_for_phase(p);
+  }
+  TURQ_ASSERT_MSG(secrets.size() == slots,
+                  "secret vector does not tile into the key array's phases");
+  OneTimeKeyChain chain;
+  chain.secrets_ = std::move(secrets);
+  chain.public_keys_ = std::move(keys);
+  return chain;
+}
+
 const Bytes& OneTimeKeyChain::secret_key(Phase phase, Value v) const {
   return secrets_[public_keys_.index_of(phase, v)];
 }

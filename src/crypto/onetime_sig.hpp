@@ -76,6 +76,14 @@ class OneTimeKeyChain {
   static OneTimeKeyChain generate(ProcessId owner, Phase first_phase,
                                   Phase num_phases, Rng& rng);
 
+  /// Assembles a chain from externally drawn secrets and their published
+  /// key array. The batched trusted setup (KeyInfrastructure::setup_batch)
+  /// draws the secrets of many chains in one pass and hashes them in one
+  /// 8-way sweep; layouts must match — keys[i] == H(secrets[i]) with the
+  /// array's phase tiling.
+  static OneTimeKeyChain from_parts(std::vector<Bytes> secrets,
+                                    VerificationKeyArray keys);
+
   [[nodiscard]] ProcessId owner() const { return public_keys_.owner(); }
   [[nodiscard]] bool covers(Phase phase) const { return public_keys_.covers(phase); }
 

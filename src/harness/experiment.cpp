@@ -448,7 +448,27 @@ RunResult run_turquois(const ScenarioConfig& cfg,
     };
   }
 
-  return collect(cfg, d);
+  RunResult result = collect(cfg, d);
+#if TURQ_TRACE_ENABLED
+  if (exchange_pool != nullptr) {
+    if (trace::Tracer* t = trace::current()) {
+      // Acquire-side counters only: they are measured on the simulator
+      // thread in delivery order and are bit-identical at any --intra-jobs.
+      // Fill attribution (inline vs worker, claim races) is execution-
+      // timing-dependent and deliberately stays out of the trace contract
+      // (see ExchangePool::Stats).
+      const turquois::ExchangePool::Stats& ps = exchange_pool->stats();
+      auto& m = t->metrics();
+      m.counter("exchange_pool.acquires")
+          .add(static_cast<std::int64_t>(ps.acquires));
+      m.counter("exchange_pool.hits")
+          .add(static_cast<std::int64_t>(ps.shared_hits));
+      m.counter("exchange_pool.misses")
+          .add(static_cast<std::int64_t>(ps.misses()));
+    }
+  }
+#endif
+  return result;
 }
 
 /// Shared pairwise HMAC keys (the pre-established security associations).

@@ -28,6 +28,7 @@
 #include "net/fault_injector.hpp"
 #include "net/medium.hpp"
 #include "net/reliable_channel.hpp"
+#include "service/config.hpp"
 #include "spatial/relay.hpp"
 #include "spatial/topology.hpp"
 #include "turquois/key_infra.hpp"
@@ -161,6 +162,12 @@ struct ScenarioConfig {
   /// Turquois-specific knobs.
   SimDuration tick_interval = 10 * kMillisecond;
   SimDuration tick_jitter = 2 * kMillisecond;
+
+  /// Multi-instance consensus service (replicated queue + open-loop client
+  /// workload; see service/service.hpp). Disabled by default — the flag
+  /// only takes effect through service::run_service, never run_scenario,
+  /// so plain scenarios are byte-identical with the service compiled in.
+  service::ServiceConfig service;
 
   /// When set, every repetition runs under a trace::Tracer and flushes its
   /// event stream and metrics into this sink (one kRepBegin/kRepEnd-marked
@@ -296,6 +303,10 @@ struct RunResult {
   std::optional<audit::AuditReport> audit;
   /// Topology/relay counters; present iff the scenario is spatial.
   std::optional<spatial::SpatialStats> spatial;
+  /// Service-layer counters; present iff the repetition ran under
+  /// service::run_service (latencies_ms then holds per-request
+  /// arrival->commit latencies instead of per-process decision latencies).
+  std::optional<service::RepSummary> service;
 };
 
 /// σ accounting pooled over a scenario's repetitions.

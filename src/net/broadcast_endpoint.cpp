@@ -19,6 +19,10 @@ BroadcastEndpoint::~BroadcastEndpoint() {
 }
 
 void BroadcastEndpoint::send(Bytes payload) {
+  send(std::move(payload), /*replace_queued=*/true);
+}
+
+void BroadcastEndpoint::send(Bytes payload, bool replace_queued) {
   if (!open_) return;
   ++sent_;
   // One immutable frame serves the loopback delivery and all n-1 receivers.
@@ -32,7 +36,7 @@ void BroadcastEndpoint::send(Bytes payload) {
   sim_.schedule(0, [this, frame, payload_size] {
     if (open_ && handler_) handler_(self_, BytesView(*frame).first(payload_size));
   });
-  service_.broadcast(self_, std::move(frame), /*replace_queued=*/true);
+  service_.broadcast(self_, std::move(frame), replace_queued);
 }
 
 void BroadcastEndpoint::close() {

@@ -14,32 +14,40 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "net/broadcast_service.hpp"
+#include "net/datagram_port.hpp"
 #include "sim/simulator.hpp"
 
 namespace turq::net {
 
-class BroadcastEndpoint {
+class BroadcastEndpoint final : public DatagramPort {
  public:
-  /// The view aliases the shared in-flight frame and is only valid for the
-  /// duration of the call; handlers copy what they keep (a decoded datagram).
-  using DatagramHandler = std::function<void(ProcessId src, BytesView payload)>;
+  /// Legacy alias; the handler type lives in datagram_port.hpp.
+  using DatagramHandler = net::DatagramHandler;
 
   static constexpr std::size_t kUdpIpOverhead = 28;  // IPv4 + UDP headers
 
   BroadcastEndpoint(sim::Simulator& simulator, BroadcastService& service,
                     ProcessId self);
-  ~BroadcastEndpoint();
+  ~BroadcastEndpoint() override;
 
   BroadcastEndpoint(const BroadcastEndpoint&) = delete;
   BroadcastEndpoint& operator=(const BroadcastEndpoint&) = delete;
 
-  void set_handler(DatagramHandler handler) { handler_ = std::move(handler); }
+  void set_handler(DatagramHandler handler) override {
+    handler_ = std::move(handler);
+  }
 
   /// Broadcasts `payload` to every node, including the local one (loopback).
-  void send(Bytes payload);
+  void send(Bytes payload) override;
+
+  /// As send(), with control over whether this frame supersedes the sender's
+  /// still-queued broadcasts. The mux passes false for the continuation
+  /// frames of a split flush so they don't cancel each other in the MAC
+  /// queue.
+  void send(Bytes payload, bool replace_queued);
 
   /// Stops sending and receiving (crash).
-  void close();
+  void close() override;
 
   [[nodiscard]] ProcessId self() const { return self_; }
   [[nodiscard]] std::uint64_t datagrams_sent() const { return sent_; }

@@ -1,0 +1,77 @@
+// Multi-instance consensus service: a replicated queue (SMR-lite) over
+// pipelined Turquois instances, under an open-loop client workload.
+//
+// The paper's shape is one binary consensus per run; a service's shape is a
+// stream of client requests, each committed by one slot of a replicated
+// queue. This driver runs W instances in flight (ScenarioConfig::service),
+// each deciding the admission of a batch of B requests, over the existing
+// simulated medium/fault stack. Three amortizations make the pipeline pay
+// (DESIGN.md §15):
+//   * frame multiplexing — per node, one FrameMux packs the pending
+//     payloads of all in-flight instances into shared broadcast frames
+//     (net/frame_mux.hpp), so airtime/DIFS/backoff and datagram overhead
+//     are paid once per window, not once per instance;
+//   * batched trusted setup — KeyInfrastructure::setup_batch keys a whole
+//     instance batch with one RNG pass, one 8-way SHA-256 sweep, and one
+//     RSA pair per process;
+//   * proposal batching — B requests per instance slot, so one decision
+//     commits B requests.
+// Every instance is judged by its own ConsensusAuditor (Validity /
+// Agreement / Unanimity per instance id): throughput never buys silent
+// incorrectness. A request's end-to-end latency is stamped arrival ->
+// commit (the k-th process decide of its instance).
+//
+// Repetitions run through harness::run_repetitions — the same scheduler,
+// per-repetition trace capture, and crash isolation as run_scenario — so
+// pooled output is bit-identical at any --jobs × --intra-jobs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "service/config.hpp"
+
+namespace turq::service {
+
+/// Pooled outcome of a service scenario (the analogue of ScenarioResult).
+struct ServiceScenarioResult {
+  harness::ScenarioConfig config;
+  /// Per-request arrival->commit latencies pooled over all repetitions, in
+  /// repetition order.
+  SampleStats latency_ms;
+  std::uint32_t failed_runs = 0;        // crashed or incomplete repetitions
+  std::uint32_t safety_violations = 0;  // reps with a violating instance
+  net::MediumStats medium_total;
+  /// Instance-grained audit: checked_reps counts audited *instances*.
+  std::optional<audit::AuditAggregate> audit;
+  /// Counter totals summed over repetitions (finished_at sums to the total
+  /// simulated seconds, the denominator of the throughput figures).
+  RepSummary totals;
+  std::uint64_t app_messages = 0;
+
+  /// Committed requests per simulated second, pooled over repetitions — a
+  /// machine-independent throughput figure.
+  [[nodiscard]] double committed_per_sim_sec() const;
+  /// Fully decided instances per simulated second.
+  [[nodiscard]] double instances_per_sim_sec() const;
+};
+
+/// Service-specific validation on top of harness::validate (which
+/// run_service also applies). std::nullopt = runnable.
+[[nodiscard]] std::optional<std::string> validate_service(
+    const harness::ScenarioConfig& cfg);
+
+/// One service repetition; pure in (cfg, rep_index), tracer-wrapped like
+/// harness::run_once. RunResult::service is set; latencies_ms holds
+/// per-request latencies.
+[[nodiscard]] harness::RunResult run_service_once(
+    const harness::ScenarioConfig& cfg, std::uint64_t rep_index);
+
+/// Runs cfg.repetitions service repetitions (cfg.service.enabled must be
+/// set) and pools in repetition order. Throws std::invalid_argument when
+/// validate()/validate_service() reports a problem.
+[[nodiscard]] ServiceScenarioResult run_service(
+    const harness::ScenarioConfig& cfg);
+
+}  // namespace turq::service

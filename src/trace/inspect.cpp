@@ -309,6 +309,50 @@ std::string inspect_jsonl(std::istream& in) {
     appendf(out, "verdict: %s\n", audit_violations == 0 ? "pass" : "FAIL");
   }
 
+  // Exchange-pool accounting, present when the broadcast path shared one
+  // decode + verify per unique payload across receivers (the default;
+  // --no-exchange-pool drops the counters). Only the acquire side is
+  // traced — it is deterministic at any --intra-jobs; fill attribution
+  // (who computed a verdict first) is host-dependent and stays out.
+  if (counters.find("exchange_pool.acquires") != counters.end()) {
+    const unsigned long long acq = counter("exchange_pool.acquires");
+    const unsigned long long hits = counter("exchange_pool.hits");
+    appendf(out, "\n== exchange pool ==\n");
+    appendf(out, "acquires: %llu, shared hits: %llu (%.1f%%), misses: %llu\n",
+            acq, hits,
+            acq > 0 ? 100.0 * static_cast<double>(hits) /
+                          static_cast<double>(acq)
+                    : 0.0,
+            counter("exchange_pool.misses"));
+  }
+
+  // Consensus-service accounting (turquois_sim --service): the replicated
+  // queue's request flow, instance pipeline, and frame-mux amortization.
+  if (counters.find("service.arrivals") != counters.end()) {
+    const unsigned long long frames = counter("service.mux_frames");
+    const unsigned long long payloads = counter("service.mux_payloads");
+    appendf(out, "\n== service ==\n");
+    appendf(out, "requests: %llu arrivals, %llu committed, %llu rejected\n",
+            counter("service.arrivals"), counter("service.committed"),
+            counter("service.rejected"));
+    appendf(out,
+            "instances: %llu launched, %llu decided, %llu failed, "
+            "%llu key batches\n",
+            counter("service.instances_launched"),
+            counter("service.instances_decided"),
+            counter("service.instances_failed"),
+            counter("service.key_batches"));
+    appendf(out,
+            "mux: %llu frames carried %llu payloads (%.2f/frame), "
+            "%llu splits, %llu superseded, %llu late drops\n",
+            frames, payloads,
+            frames > 0 ? static_cast<double>(payloads) /
+                             static_cast<double>(frames)
+                       : 0.0,
+            counter("service.mux_splits"), counter("service.mux_superseded"),
+            counter("service.mux_late_drops"));
+  }
+
   appendf(out, "\n== message complexity ==\n");
   appendf(out, "%8s %11s %8s %13s %16s\n", "process", "broadcasts", "decides",
           "decide_phase", "mean_latency_ms");

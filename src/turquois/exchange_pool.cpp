@@ -80,6 +80,12 @@ const ExchangePool::Prepared& ExchangePool::acquire(BytesView payload) {
   bool existed = false;
   Prepared& entry = lookup(payload, existed);
   if (existed) ++stats_.hits;
+  ++stats_.acquires;
+  if (entry.acquired) {
+    ++stats_.shared_hits;
+  } else {
+    entry.acquired = true;
+  }
   std::uint8_t expected = kEmpty;
   if (entry.state.compare_exchange_strong(expected, kFilling,
                                           std::memory_order_acquire)) {
@@ -93,6 +99,7 @@ const ExchangePool::Prepared& ExchangePool::acquire(BytesView payload) {
   }
   if (expected != kReady) {
     // A worker owns the fill; ride out the remainder of its head start.
+    ++stats_.wait_races;
     entry.state.wait(kFilling, std::memory_order_acquire);
   }
   return entry;

@@ -59,15 +59,43 @@ class ExchangePool {
     /// in order, then the main message last (== authentic() per message).
     std::vector<std::uint8_t> auth;
     std::atomic<std::uint8_t> state{kEmpty};
+    /// An acquire() already consumed this entry (simulator thread only).
+    /// Drives the deterministic hit/miss accounting: unlike `existed` in
+    /// lookup(), it cannot be flipped early by a prefetch.
+    bool acquired = false;
   };
 
+  /// Two families of counters, split by their determinism guarantee.
+  ///
+  /// The acquire-side counters (acquires / hits / misses()) are measured on
+  /// the simulator thread in delivery order, so they are bit-identical for
+  /// any --intra-jobs value and are exported as `exchange_pool.*` trace
+  /// metrics (run_turquois, the service driver).
+  ///
+  /// The fill-attribution counters (entries / legacy hits / inline_fills /
+  /// wait_races) depend on whether a prefetch worker won the claim race and
+  /// are execution-timing-dependent with workers attached; they stay
+  /// host-side observables and must NOT enter traces or reports (the
+  /// bit-identity contract, DESIGN.md §14).
   struct Stats {
     std::uint64_t entries = 0;         // unique payloads prepared
-    std::uint64_t hits = 0;            // acquires served from the cache
+    std::uint64_t hits = 0;            // acquires finding an existing entry
     /// Fills claimed by the simulator thread (acquire before any worker
     /// started); worker fills = entries - inline_fills. Mutated on the
     /// simulator thread only, so reads need no synchronization.
     std::uint64_t inline_fills = 0;
+    /// Acquires that found a worker mid-fill and waited it out — the other
+    /// outcome of the claim race (simulator thread only).
+    std::uint64_t wait_races = 0;
+    std::uint64_t acquires = 0;        // total acquire() calls (deliveries)
+    /// Acquires of a payload some earlier acquire already consumed — the
+    /// deliveries that shared another receiver's decode + verify.
+    std::uint64_t shared_hits = 0;
+    /// First-consumption acquires (each paid one prepare, inline or by
+    /// riding out / reusing a worker fill).
+    [[nodiscard]] std::uint64_t misses() const {
+      return acquires - shared_hits;
+    }
   };
 
   /// `workers` may be null: every fill then runs inline in acquire().

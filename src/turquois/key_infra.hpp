@@ -22,6 +22,20 @@ class KeyInfrastructure {
   /// Runs the trusted setup for `cfg.n` processes.
   static KeyInfrastructure setup(const Config& cfg, Rng& rng);
 
+  /// One trusted-setup pass covering `instances` concurrent consensus
+  /// instances (the service layer's pipelining batch). Every instance gets
+  /// the same structure setup() builds — in particular its own DISJOINT
+  /// one-time secrets; a revealed SK must never authenticate a (phase,
+  /// value) of another instance — but the generation cost is amortized:
+  /// per process, the secrets of all `instances` chains are drawn in one
+  /// pass and hashed to verification keys in ONE 8-way sha256_batch sweep,
+  /// and one RSA key pair signs every instance's VK array (the paper's
+  /// trapdoor key is per process, not per consensus run). Returns one
+  /// infrastructure per instance.
+  static std::vector<KeyInfrastructure> setup_batch(const Config& cfg,
+                                                    Rng& rng,
+                                                    std::uint32_t instances);
+
   /// A process's own secret chain.
   [[nodiscard]] const crypto::OneTimeKeyChain& chain(ProcessId id) const {
     return chains_[id];

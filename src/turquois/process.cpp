@@ -13,7 +13,7 @@ namespace {
 constexpr std::size_t kMaxPending = 4096;
 }  // namespace
 
-Process::Process(sim::Simulator& simulator, net::BroadcastEndpoint& endpoint,
+Process::Process(sim::Simulator& simulator, net::DatagramPort& endpoint,
                  sim::VirtualCpu& cpu, const Config& config,
                  const KeyInfrastructure& keys, ProcessId id, Rng rng,
                  const crypto::CostModel& costs)

@@ -22,7 +22,7 @@
 
 #include "common/rng.hpp"
 #include "crypto/cost_model.hpp"
-#include "net/broadcast_endpoint.hpp"
+#include "net/datagram_port.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "turquois/config.hpp"
@@ -47,7 +47,7 @@ class Process {
   /// it is signed. Must keep (phase, value) inside the one-time key domain.
   using Mutator = std::function<void(Message&)>;
 
-  Process(sim::Simulator& simulator, net::BroadcastEndpoint& endpoint,
+  Process(sim::Simulator& simulator, net::DatagramPort& endpoint,
           sim::VirtualCpu& cpu, const Config& config,
           const KeyInfrastructure& keys, ProcessId id, Rng rng,
           const crypto::CostModel& costs);
@@ -130,7 +130,7 @@ class Process {
                      std::optional<Value> value, std::size_t want) const;
 
   sim::Simulator& sim_;
-  net::BroadcastEndpoint& endpoint_;
+  net::DatagramPort& endpoint_;
   sim::VirtualCpu& cpu_;
   const Config& cfg_;
   const KeyInfrastructure& keys_;

@@ -5,11 +5,12 @@
 #
 # Usage: tools/check_perf.sh <current.json> [baseline.json] [max_regression]
 #   current.json    report from `bench/sim_micro --quick --json ...`,
-#                   `bench/spatial_grid --quick --json ...`, or
-#                   `bench/large_n --quick --perf-json ...`
+#                   `bench/spatial_grid --quick --json ...`,
+#                   `bench/large_n --quick --perf-json ...`, or
+#                   `bench/service_throughput --quick --perf-json ...`
 #   baseline.json   committed reference (default: BENCH_sim_micro.json;
-#                   pass BENCH_spatial_grid.json / BENCH_large_n.json for
-#                   the other benches)
+#                   pass BENCH_spatial_grid.json / BENCH_large_n.json /
+#                   BENCH_service_throughput.json for the other benches)
 #   max_regression  allowed fractional drop, 0..1 (default: 0.30)
 #
 # The zero-allocation gate applies only when the report carries a
@@ -21,6 +22,12 @@
 # stay at least `min_speedup` (1.20) faster than the per-receiver legacy
 # verification leg of the *same run* — a machine-independent ratio, so it
 # is a hard floor rather than a baseline comparison.
+#
+# Likewise, a speedup_vs_sequential field (bench/service_throughput) gates
+# the pipelined service: the n=16 W=64/B=8 leg must commit requests at
+# least `min_service_speedup` (5.0) times faster than the W=1/B=1
+# sequential leg of the same run, in *simulated* time — machine-independent
+# by construction, so also a hard floor.
 #
 # Throughput is machine-dependent, so the gate is deliberately loose: it
 # catches algorithmic regressions (an accidental O(n) scan, a re-introduced
@@ -41,6 +48,8 @@ base_events=$(metric events_per_sec "$baseline")
 cur_allocs=$(metric steady_state_allocs "$current")
 cur_speedup=$(metric speedup_vs_legacy "$current")
 min_speedup="1.20"
+cur_service_speedup=$(metric speedup_vs_sequential "$current")
+min_service_speedup="5.0"
 
 if [ -z "$cur_events" ] || [ -z "$base_events" ]; then
   echo "check_perf: missing events_per_sec in $current or $baseline" >&2
@@ -59,6 +68,19 @@ if [ -n "$cur_speedup" ]; then
              cur, floor;
       if (cur < floor) {
         printf "check_perf: FAIL — exchange-pool speedup below %.2fx\n",
+               floor > "/dev/stderr";
+        exit 1;
+      }
+    }'
+fi
+
+if [ -n "$cur_service_speedup" ]; then
+  awk -v cur="$cur_service_speedup" -v floor="$min_service_speedup" '
+    BEGIN {
+      printf "check_perf: speedup_vs_sequential current=%.2fx floor=%.2fx\n",
+             cur, floor;
+      if (cur < floor) {
+        printf "check_perf: FAIL — service pipeline speedup below %.2fx\n",
                floor > "/dev/stderr";
         exit 1;
       }

@@ -20,6 +20,7 @@
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "harness/scheduler.hpp"
+#include "service/service.hpp"
 #include "sim/task_pool.hpp"
 #include "trace/sink.hpp"
 
@@ -81,6 +82,23 @@ namespace {
       "                                    privately per receiver instead of\n"
       "                                    once per unique payload\n"
       "                                    (bit-identical, slower)\n"
+      "  --service                         run the multi-instance consensus\n"
+      "                                    service: a replicated queue of\n"
+      "                                    pipelined Turquois instances under\n"
+      "                                    an open-loop client workload\n"
+      "                                    (Turquois, failure-free only)\n"
+      "  --pipeline-depth <W>              service: instances in flight at\n"
+      "                                    once (default 8)\n"
+      "  --batch <B>                       service: client requests committed\n"
+      "                                    per instance slot (default 8)\n"
+      "  --arrival poisson|bursty          service: client arrival process\n"
+      "                                    (default poisson)\n"
+      "  --offered-load <R>                service: mean client requests per\n"
+      "                                    simulated second (default 2000)\n"
+      "  --requests <N>                    service: requests per repetition\n"
+      "                                    (default 512)\n"
+      "  --mux-window <ms>                 service: frame-mux coalescing\n"
+      "                                    window (default 2)\n"
       "  --json <path>                     write the pooled result as a\n"
       "                                    machine-readable report\n"
       "  --no-audit                        skip the consensus-property\n"
@@ -197,6 +215,25 @@ int main(int argc, char** argv) {
       cfg.intra_jobs = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--no-exchange-pool") {
       cfg.exchange_pool = false;
+    } else if (arg == "--service") {
+      cfg.service.enabled = true;
+    } else if (arg == "--pipeline-depth") {
+      cfg.service.pipeline_depth =
+          static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--batch") {
+      cfg.service.batch = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--arrival") {
+      const std::string_view a = next();
+      if (a == "poisson") cfg.service.arrival = service::Arrival::kPoisson;
+      else if (a == "bursty") cfg.service.arrival = service::Arrival::kBursty;
+      else usage(argv[0]);
+    } else if (arg == "--offered-load") {
+      cfg.service.offered_load = std::atof(next());
+    } else if (arg == "--requests") {
+      cfg.service.total_requests =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--mux-window") {
+      cfg.service.mux_window = std::atoll(next()) * kMillisecond;
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--verbose") {
@@ -246,6 +283,120 @@ int main(int argc, char** argv) {
     std::printf("topology: %s%s\n", spatial::describe(cfg.spatial).c_str(),
                 cfg.spatial.active() && !cfg.relay_enabled ? ", relay off"
                                                            : "");
+  }
+
+  if (cfg.service.enabled) {
+    if (!json_path.empty()) {
+      std::fprintf(stderr,
+                   "--json is not supported with --service; "
+                   "bench/service_throughput writes service reports\n");
+      return 2;
+    }
+    std::printf("service: W=%u, B=%u, %s arrivals @ %.0f req/s, %llu "
+                "requests/rep, mux window %.0f ms\n",
+                cfg.service.pipeline_depth, cfg.service.batch,
+                service::to_string(cfg.service.arrival),
+                cfg.service.offered_load,
+                static_cast<unsigned long long>(cfg.service.total_requests),
+                to_milliseconds(cfg.service.mux_window));
+    const auto started = std::chrono::steady_clock::now();
+    service::ServiceScenarioResult sr;
+    try {
+      sr = service::run_service(cfg);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "invalid scenario: %s\n", e.what());
+      return 2;
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+    if (trace_sink) {
+      trace_sink->close();
+      std::printf("trace: wrote %s (%s); inspect with: trace_inspect %s\n",
+                  trace_path.c_str(), trace_format.c_str(),
+                  trace_format == "jsonl" ? trace_path.c_str()
+                                          : "<jsonl traces only>");
+    }
+    const service::RepSummary& t = sr.totals;
+    std::printf("service totals: %llu arrivals, %llu committed, %llu "
+                "rejected; %llu instances launched, %llu decided, %llu "
+                "failed; %llu key batches\n",
+                static_cast<unsigned long long>(t.arrivals),
+                static_cast<unsigned long long>(t.committed),
+                static_cast<unsigned long long>(t.rejected),
+                static_cast<unsigned long long>(t.instances_launched),
+                static_cast<unsigned long long>(t.instances_decided),
+                static_cast<unsigned long long>(t.instances_failed),
+                static_cast<unsigned long long>(t.key_batches));
+    std::printf("throughput: %.1f committed req/s, %.2f instances/s "
+                "(simulated; %.2f s sim over %u reps, %.2f s wall)\n",
+                sr.committed_per_sim_sec(), sr.instances_per_sim_sec(),
+                static_cast<double>(t.finished_at) / kSecond,
+                cfg.repetitions, wall);
+    std::printf("mux: %llu frames carried %llu payloads (%.2f/frame), "
+                "%llu splits, %llu superseded, %llu late drops\n",
+                static_cast<unsigned long long>(t.mux_frames),
+                static_cast<unsigned long long>(t.mux_payloads),
+                t.mux_frames > 0 ? static_cast<double>(t.mux_payloads) /
+                                       static_cast<double>(t.mux_frames)
+                                 : 0.0,
+                static_cast<unsigned long long>(t.mux_splits),
+                static_cast<unsigned long long>(t.mux_superseded),
+                static_cast<unsigned long long>(t.mux_late_drops));
+    if (!sr.latency_ms.empty()) {
+      std::printf("latency (arrival->commit): mean %.2f ms, p50 %.2f, "
+                  "p95 %.2f, p99 %.2f, max %.2f over %zu requests\n",
+                  sr.latency_ms.mean(), sr.latency_ms.percentile(0.5),
+                  sr.latency_ms.percentile(0.95),
+                  sr.latency_ms.percentile(0.99), sr.latency_ms.max(),
+                  sr.latency_ms.count());
+    }
+    std::printf(
+        "medium (totals): %llu bcast frames, %llu unicast frames, "
+        "%llu collisions, %llu MAC retries, %.1f ms airtime, %llu bytes\n",
+        static_cast<unsigned long long>(sr.medium_total.broadcast_frames),
+        static_cast<unsigned long long>(sr.medium_total.unicast_frames),
+        static_cast<unsigned long long>(sr.medium_total.collisions),
+        static_cast<unsigned long long>(sr.medium_total.mac_retries),
+        to_milliseconds(sr.medium_total.airtime),
+        static_cast<unsigned long long>(sr.medium_total.bytes_on_air));
+    bool audit_passed = true;
+    if (sr.audit.has_value()) {
+      const audit::AuditAggregate& a = *sr.audit;
+      std::printf("audit: %llu instances checked, %llu violating, %llu "
+                  "violations (%s)\n",
+                  static_cast<unsigned long long>(a.checked_reps),
+                  static_cast<unsigned long long>(a.violating_reps),
+                  static_cast<unsigned long long>(a.violations),
+                  a.passed() ? "pass" : "FAIL");
+      if (!a.passed()) {
+        for (std::size_t i = 0; i < audit::kPropertyCount; ++i) {
+          if (a.by_property[i] == 0) continue;
+          std::printf("  %s: %llu\n",
+                      audit::to_string(static_cast<audit::Property>(i)),
+                      static_cast<unsigned long long>(a.by_property[i]));
+        }
+      }
+      audit_passed = a.passed();
+    }
+    if (sr.failed_runs > 0) {
+      std::printf("warning: %u repetitions did not commit every request\n",
+                  sr.failed_runs);
+    }
+    if (sr.safety_violations > 0) {
+      std::printf("SAFETY VIOLATIONS: %u\n", sr.safety_violations);
+      return 1;
+    }
+    if (!audit_passed) {
+      std::printf("AUDIT VIOLATIONS: see the audit lines above\n");
+      return 1;
+    }
+    if (sr.latency_ms.empty()) {
+      std::printf("result: no requests committed (%u failed reps)\n",
+                  sr.failed_runs);
+      return 1;
+    }
+    return 0;
   }
 
   if (verbose) {
