@@ -56,13 +56,15 @@ int main(int argc, char** argv) {
           20 * kMillisecond, 40 * kMillisecond}) {
       char cells[2][32];
       int cell = 0;
-      for (const FaultLoad load :
-           {FaultLoad::kFailureFree, FaultLoad::kFailStop}) {
+      for (const faultplan::Role role :
+           {faultplan::Role::kNone, faultplan::Role::kFailStop}) {
         ScenarioConfig cfg;
         cfg.protocol = Protocol::kTurquois;
         cfg.n = n;
         cfg.distribution = ProposalDist::kDivergent;
-        cfg.fault_load = load;
+        cfg.plan = faultplan::canned_plan(
+            role, role == faultplan::Role::kNone ? "failure-free"
+                                                 : "fail-stop");
         cfg.repetitions = reps;
         cfg.seed = 0xD0 + n;
         cfg.tick_interval = tick;

@@ -16,6 +16,8 @@ constexpr const char* kPaper =
 
 int main(int argc, char** argv) {
   return turq::bench::run_paper_table(
-      argc, argv, turq::harness::FaultLoad::kFailureFree,
+      argc, argv,
+      turq::faultplan::canned_plan(turq::faultplan::Role::kNone,
+                                   "failure-free"),
       "table1_failure_free", "Table 1 — failure-free fault load", kPaper);
 }

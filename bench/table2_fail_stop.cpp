@@ -15,6 +15,8 @@ constexpr const char* kPaper =
 
 int main(int argc, char** argv) {
   return turq::bench::run_paper_table(
-      argc, argv, turq::harness::FaultLoad::kFailStop,
+      argc, argv,
+      turq::faultplan::canned_plan(turq::faultplan::Role::kFailStop,
+                                   "fail-stop"),
       "table2_fail_stop", "Table 2 — fail-stop fault load", kPaper);
 }

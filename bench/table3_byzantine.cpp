@@ -16,6 +16,8 @@ constexpr const char* kPaper =
 
 int main(int argc, char** argv) {
   return turq::bench::run_paper_table(
-      argc, argv, turq::harness::FaultLoad::kByzantine,
+      argc, argv,
+      turq::faultplan::canned_plan(turq::faultplan::Role::kByzantine,
+                                   "Byzantine"),
       "table3_byzantine", "Table 3 — Byzantine fault load", kPaper);
 }

@@ -89,14 +89,14 @@ inline TableArgs parse_table_args(int argc, char** argv) {
 /// Runs one paper table end to end: parse args, run the grid, print the
 /// table next to the paper's reference numbers, optionally emit the JSON
 /// report. `name` labels the report ("table1_failure_free", ...).
-inline int run_paper_table(int argc, char** argv, harness::FaultLoad load,
-                           const char* name, const char* title,
-                           const char* paper_reference) {
+inline int run_paper_table(int argc, char** argv,
+                           const faultplan::FaultPlan& plan, const char* name,
+                           const char* title, const char* paper_reference) {
   const TableArgs args = parse_table_args(argc, argv);
 
   harness::TableSpec spec;
   spec.title = title;
-  spec.fault_load = load;
+  spec.plan = plan;
   spec.group_sizes = args.sizes;
 
   harness::ScenarioConfig base;

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
     cfg.protocol = protocol;
     cfg.n = n;
     cfg.distribution = ProposalDist::kDivergent;
-    cfg.fault_load = FaultLoad::kByzantine;
+    cfg.plan =
+        faultplan::canned_plan(faultplan::Role::kByzantine, "Byzantine");
     cfg.repetitions = 10;
     cfg.seed = 77;
     const ScenarioResult r = run_scenario(cfg);

@@ -8,8 +8,8 @@
 // cycles at correct processes (strategies are enums inside each baseline).
 //
 // The harness applies these via the fault plan's role: a plan with
-// Role::kByzantine (e.g. the canned "Byzantine" plan behind the deprecated
-// FaultLoad::kByzantine alias) designates the top f process ids as faulty
+// Role::kByzantine (e.g. the canned "Byzantine" plan behind the registry's
+// "byzantine" name) designates the top f process ids as faulty
 // and installs the per-protocol strategy below on each — see
 // src/faultplan/plan.hpp and harness::ScenarioConfig::plan.
 #pragma once

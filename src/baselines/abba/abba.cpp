@@ -3,6 +3,7 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/serialize.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "trace/trace.hpp"
 
 namespace turq::abba {
@@ -21,32 +22,50 @@ constexpr std::size_t kSharePadBytes = kModeledShareBytes - 28;
 Vote to_vote(Value v) { return v == Value::kOne ? Vote::kOne : Vote::kZero; }
 }  // namespace
 
-Process::Process(sim::Simulator& simulator, net::TcpHost& transport,
-                 sim::VirtualCpu& cpu, const Config& config,
+Process::Process(std::unique_ptr<runtime::Runtime> owned, runtime::Runtime* rt,
+                 net::TcpHost& transport, const Config& config,
                  const Dealer& dealer, ProcessId id, Rng rng,
-                 const crypto::CostModel& costs, Strategy strategy)
-    : sim_(simulator),
+                 const crypto::CostModel& costs, Strategy strategy,
+                 ProcessHooks hooks)
+    : owned_rt_(std::move(owned)),
+      rt_(rt != nullptr ? *rt : *owned_rt_),
       transport_(transport),
-      cpu_(cpu),
       cfg_(config),
       dealer_(dealer),
       id_(id),
       rng_(rng),
       costs_(costs),
-      strategy_(strategy) {
+      strategy_(strategy),
+      on_decide_(std::move(hooks.on_decide)),
+      on_round_(std::move(hooks.on_round)) {
   transport_.set_handler([this](ProcessId src, const Bytes& payload) {
     on_message(src, payload);
   });
 }
 
+Process::Process(runtime::Runtime& rt, net::TcpHost& transport,
+                 const Config& config, const Dealer& dealer, ProcessId id,
+                 Rng rng, const crypto::CostModel& costs, Strategy strategy,
+                 ProcessHooks hooks)
+    : Process(nullptr, &rt, transport, config, dealer, id, rng, costs,
+              strategy, std::move(hooks)) {}
+
+Process::Process(sim::Simulator& simulator, net::TcpHost& transport,
+                 sim::VirtualCpu& cpu, const Config& config,
+                 const Dealer& dealer, ProcessId id, Rng rng,
+                 const crypto::CostModel& costs, Strategy strategy)
+    : Process(std::make_unique<runtime::SimRuntime>(simulator, cpu), nullptr,
+              transport, config, dealer, id, rng, costs, strategy,
+              ProcessHooks{}) {}
+
 void Process::propose(Value initial) {
   TURQ_ASSERT(is_binary(initial));
   TURQ_ASSERT_MSG(!running_, "propose() may be called once");
   running_ = true;
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPropose, .process = id_, .phase = 1,
                    .value = static_cast<std::int64_t>(initial));
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kRoundEnter, .process = id_,
                    .phase = 1);
   send_prevote(1, to_vote(initial));
@@ -93,7 +112,7 @@ Bytes Process::coin_name(std::uint32_t round) {
 
 crypto::ThresholdShare Process::make_share(BytesView name) {
   ++stats_.shares_generated;
-  cpu_.charge(costs_.threshold_share_generate());
+  rt_.charge(costs_.threshold_share_generate());
   crypto::ThresholdShare share = dealer_.sig.generate_share(id_, name, rng_);
   if (strategy_ == Strategy::kInvalidCrypto) {
     // Structurally plausible garbage: correct processes pay the full
@@ -166,7 +185,7 @@ void Process::send_coin_share(std::uint32_t round) {
   if (st.coin_share_sent) return;
   st.coin_share_sent = true;
   ++stats_.shares_generated;
-  cpu_.charge(costs_.threshold_share_generate());
+  rt_.charge(costs_.threshold_share_generate());
   crypto::ThresholdShare share =
       dealer_.coin.generate_share(id_, coin_name(round), rng_);
   if (strategy_ == Strategy::kInvalidCrypto) {
@@ -214,7 +233,7 @@ void Process::on_message(ProcessId src, const Bytes& payload) {
       (*type == kPreVote && *round > 1) || *type == kMainVote;
   if (has_justification) cost += costs_.threshold_sig_verify();
 
-  cpu_.execute(cost, [this, src, type = *type, round = *round,
+  rt_.execute(cost, [this, src, type = *type, round = *round,
                       vote_raw = *vote_raw, share = *share] {
     if (!running_) return;
     ++stats_.shares_verified;
@@ -269,7 +288,7 @@ void Process::handle_coin_share(ProcessId src, std::uint32_t round,
   if (!st.coin_value.has_value() &&
       st.coin_shares.size() >= cfg_.coin_threshold()) {
     ++stats_.combines;
-    cpu_.charge(costs_.threshold_combine(cfg_.coin_threshold()));
+    rt_.charge(costs_.threshold_combine(cfg_.coin_threshold()));
     const Bytes name = coin_name(round);
     const auto combined = dealer_.coin.combine(name, st.coin_shares);
     TURQ_ASSERT(combined.has_value());
@@ -286,7 +305,7 @@ void Process::try_progress(std::uint32_t round) {
   TURQ_TRACE("abba p%u r%u: pv=%zu mv=%zu coin=%zu voted=%d adv=%d t=%.2f", id_,
              round, st.pre_votes.size(), st.main_votes.size(),
              st.coin_shares.size(), st.main_voted ? 1 : 0, st.advanced ? 1 : 0,
-             to_milliseconds(sim_.now()));
+             to_milliseconds(rt_.now()));
 
   // Stage 1: enough pre-votes -> main-vote.
   if (!st.main_voted && st.pre_votes.size() >= cfg_.vote_quorum()) {
@@ -306,7 +325,7 @@ void Process::try_progress(std::uint32_t round) {
     if (mv != Vote::kAbstain) {
       // Combining the pre-vote shares produces the justifying signature.
       ++stats_.combines;
-      cpu_.charge(costs_.threshold_combine(cfg_.vote_quorum()));
+      rt_.charge(costs_.threshold_combine(cfg_.vote_quorum()));
     }
     send_mainvote(round, mv);
   }
@@ -348,10 +367,10 @@ void Process::try_progress(std::uint32_t round) {
       return;  // done helping; go quiet
     }
     round_ = round + 1;
-    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+    TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                      .kind = trace::Kind::kRoundEnter, .process = id_,
                      .phase = round_);
-    if (on_round_) on_round_(round_, sim_.now());
+    if (on_round_) on_round_(round_, rt_.now());
     send_prevote(round_, *next);
     try_progress(round_);
   }
@@ -362,11 +381,11 @@ void Process::decide(Value v, std::uint32_t round) {
   decision_ = v;
   decided_round_ = round;
   TURQ_DEBUG("abba p%u decided %s in round %u t=%.3fms", id_,
-             to_string(v).c_str(), round, to_milliseconds(sim_.now()));
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+             to_string(v).c_str(), round, to_milliseconds(rt_.now()));
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kDecide, .process = id_, .phase = round,
                    .value = static_cast<std::int64_t>(v));
-  if (on_decide_) on_decide_(v, round, sim_.now());
+  if (on_decide_) on_decide_(v, round, rt_.now());
 }
 
 }  // namespace turq::abba

@@ -5,25 +5,42 @@
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "common/serialize.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "trace/trace.hpp"
 
 namespace turq::bracha {
 
-Process::Process(sim::Simulator& simulator, net::TcpHost& transport,
-                 sim::VirtualCpu& cpu, const Config& config, ProcessId id,
-                 Rng rng, const crypto::CostModel& costs, Strategy strategy)
-    : sim_(simulator),
+Process::Process(std::unique_ptr<runtime::Runtime> owned, runtime::Runtime* rt,
+                 net::TcpHost& transport, const Config& config, ProcessId id,
+                 Rng rng, const crypto::CostModel& costs, Strategy strategy,
+                 ProcessHooks hooks)
+    : owned_rt_(std::move(owned)),
+      rt_(rt != nullptr ? *rt : *owned_rt_),
       transport_(transport),
-      cpu_(cpu),
       cfg_(config),
       id_(id),
       rng_(rng),
       costs_(costs),
-      strategy_(strategy) {
+      strategy_(strategy),
+      on_decide_(std::move(hooks.on_decide)),
+      on_round_(std::move(hooks.on_round)) {
   transport_.set_handler([this](ProcessId src, const Bytes& payload) {
     on_message(src, payload);
   });
 }
+
+Process::Process(runtime::Runtime& rt, net::TcpHost& transport,
+                 const Config& config, ProcessId id, Rng rng,
+                 const crypto::CostModel& costs, Strategy strategy,
+                 ProcessHooks hooks)
+    : Process(nullptr, &rt, transport, config, id, rng, costs, strategy,
+              std::move(hooks)) {}
+
+Process::Process(sim::Simulator& simulator, net::TcpHost& transport,
+                 sim::VirtualCpu& cpu, const Config& config, ProcessId id,
+                 Rng rng, const crypto::CostModel& costs, Strategy strategy)
+    : Process(std::make_unique<runtime::SimRuntime>(simulator, cpu), nullptr,
+              transport, config, id, rng, costs, strategy, ProcessHooks{}) {}
 
 void Process::propose(Value initial) {
   TURQ_ASSERT(is_binary(initial));
@@ -32,11 +49,11 @@ void Process::propose(Value initial) {
   value_ = initial;
   flag_ = false;
   step_ = 1;
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPropose, .process = id_,
                    .phase = round_,
                    .value = static_cast<std::int64_t>(initial));
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kRoundEnter, .process = id_,
                    .phase = round_, .value = step_);
   StepValue sv{.value = value_, .flag = false};
@@ -79,7 +96,7 @@ void Process::send_to_all(std::uint32_t round, std::uint8_t step,
     // Flush at the end of the current event turn so every reaction to one
     // inbound segment (echoes/readies for several origins) shares segments.
     flush_scheduled_ = true;
-    sim_.schedule(0, [this] { flush_outbox(); });
+    rt_.schedule(0, [this] { flush_outbox(); });
   }
 }
 
@@ -270,7 +287,7 @@ void Process::try_advance() {
         }
         flag_ = false;
         round_ += 1;
-        if (on_round_) on_round_(round_, sim_.now());
+        if (on_round_) on_round_(round_, rt_.now());
         next_step = 1;
         break;
       }
@@ -285,7 +302,7 @@ void Process::try_advance() {
     }
 
     step_ = next_step;
-    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+    TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                      .kind = trace::Kind::kRoundEnter, .process = id_,
                      .phase = round_, .value = step_);
     StepValue sv{.value = value_, .flag = flag_};
@@ -304,11 +321,11 @@ void Process::decide(Value v) {
   decision_ = v;
   decided_round_ = round_;
   TURQ_DEBUG("bracha p%u decided %s in round %u t=%.3fms", id_,
-             to_string(v).c_str(), round_, to_milliseconds(sim_.now()));
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+             to_string(v).c_str(), round_, to_milliseconds(rt_.now()));
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kDecide, .process = id_,
                    .phase = round_, .value = static_cast<std::int64_t>(v));
-  if (on_decide_) on_decide_(v, round_, sim_.now());
+  if (on_decide_) on_decide_(v, round_, rt_.now());
 }
 
 }  // namespace turq::bracha

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -32,8 +33,12 @@
 #include "common/types.hpp"
 #include "crypto/cost_model.hpp"
 #include "net/reliable_channel.hpp"
-#include "sim/cpu.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/runtime.hpp"
+
+namespace turq::sim {
+class Simulator;
+class VirtualCpu;
+}  // namespace turq::sim
 
 namespace turq::bracha {
 
@@ -58,13 +63,32 @@ enum class Strategy : std::uint8_t {
   kValueInversion = 1,
 };
 
+using DecideHandler = std::function<void(Value, std::uint32_t round, SimTime)>;
+/// Round-entry callback, fired whenever the process advances to a new
+/// round. Purely observational (consensus auditor); never steers the run.
+using RoundHandler = std::function<void(std::uint32_t round, SimTime)>;
+
+/// Construction-time observation hooks — the same surface shape as
+/// turquois::ProcessHooks, so all three protocols wire up identically.
+struct ProcessHooks {
+  DecideHandler on_decide;
+  RoundHandler on_round;
+};
+
 class Process {
  public:
-  using DecideHandler = std::function<void(Value, std::uint32_t round, SimTime)>;
-  /// Round-entry callback, fired whenever the process advances to a new
-  /// round. Purely observational (consensus auditor); never steers the run.
-  using RoundHandler = std::function<void(std::uint32_t round, SimTime)>;
+  using DecideHandler = bracha::DecideHandler;
+  using RoundHandler = bracha::RoundHandler;
 
+  /// Runtime-agnostic constructor; `rt` and `transport` must outlive the
+  /// process. (The TcpHost transport is currently sim-only, but the
+  /// protocol logic itself schedules through `rt` alone.)
+  Process(runtime::Runtime& rt, net::TcpHost& transport, const Config& config,
+          ProcessId id, Rng rng, const crypto::CostModel& costs,
+          Strategy strategy = Strategy::kHonest, ProcessHooks hooks = {});
+
+  /// Deprecated sim-bound shim (kept for one PR): wraps `simulator` + `cpu`
+  /// in an owned runtime::SimRuntime.
   Process(sim::Simulator& simulator, net::TcpHost& transport,
           sim::VirtualCpu& cpu, const Config& config, ProcessId id, Rng rng,
           const crypto::CostModel& costs,
@@ -76,6 +100,7 @@ class Process {
   void propose(Value initial);
   void crash();
 
+  // Deprecated setter shims (kept for one PR): pass ProcessHooks instead.
   void set_on_decide(DecideHandler handler) { on_decide_ = std::move(handler); }
   void set_on_round(RoundHandler handler) { on_round_ = std::move(handler); }
 
@@ -144,9 +169,16 @@ class Process {
                                             std::uint8_t step, Value v,
                                             std::optional<bool> flag) const;
 
-  sim::Simulator& sim_;
+  /// Delegation target of the public constructors: exactly one of `owned`
+  /// (a shim-built SimRuntime) or `rt` is non-null.
+  Process(std::unique_ptr<runtime::Runtime> owned, runtime::Runtime* rt,
+          net::TcpHost& transport, const Config& config, ProcessId id, Rng rng,
+          const crypto::CostModel& costs, Strategy strategy,
+          ProcessHooks hooks);
+
+  std::unique_ptr<runtime::Runtime> owned_rt_;  // declared before rt_
+  runtime::Runtime& rt_;
   net::TcpHost& transport_;
-  sim::VirtualCpu& cpu_;
   Config cfg_;
   ProcessId id_;
   Rng rng_;

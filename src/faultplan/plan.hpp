@@ -65,7 +65,7 @@ struct Window {
 
 enum class ClauseKind : std::uint8_t {
   /// Expands to the scenario's ambient loss model (ScenarioConfig loss_rate
-  /// iid clause + Gilbert-Elliott bursts) — what the legacy FaultLoad path
+  /// iid clause + Gilbert-Elliott bursts) — what the legacy canned loads
   /// always injected. Keeping it as a clause lets custom plans opt in or
   /// out of the ambient channel explicitly.
   kAmbient = 0,
@@ -148,9 +148,9 @@ struct FaultPlan {
   [[nodiscard]] std::optional<std::string> validate(std::uint32_t n) const;
 };
 
-/// The legacy canned loads as plans: `role` per the FaultLoad and a single
-/// kAmbient clause, which makes the deprecated ScenarioConfig::fault_load
-/// alias and the plan path one code path with identical Rng streams.
+/// The legacy canned loads as plans: the designated-faulty role plus a
+/// single kAmbient clause — byte-identical labels and Rng streams to the
+/// retired ScenarioConfig::fault_load alias.
 [[nodiscard]] FaultPlan canned_plan(Role role, std::string name);
 
 // ---------------------------------------------------------------- sigma ---

@@ -48,7 +48,8 @@ namespace turq::faultplan {
 /// Resolves a named plan ("none", "failstop", "byzantine", "jamming",
 /// "churn", "adaptive", "adaptive-half", "sigma-violating") or, when `name`
 /// is not in the registry, falls through to parse_spec. The three legacy
-/// names map onto the canned plans of the deprecated FaultLoad alias.
+/// names map onto the canned plans of the retired FaultLoad alias (same
+/// labels and Rng streams).
 [[nodiscard]] std::optional<FaultPlan> plan_from_name(std::string_view name,
                                                       std::string* error);
 

@@ -13,6 +13,7 @@
 #include "net/broadcast_endpoint.hpp"
 #include "net/fault_injector.hpp"
 #include "net/reliable_channel.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task_pool.hpp"
@@ -36,15 +37,6 @@ std::string to_string(ProposalDist d) {
   return d == ProposalDist::kUnanimous ? "unanimous" : "divergent";
 }
 
-std::string to_string(FaultLoad f) {
-  switch (f) {
-    case FaultLoad::kFailureFree: return "failure-free";
-    case FaultLoad::kFailStop: return "fail-stop";
-    case FaultLoad::kByzantine: return "Byzantine";
-  }
-  return "?";
-}
-
 std::string to_string(TurquoisAttack a) {
   switch (a) {
     case TurquoisAttack::kValueInversion: return "value-inversion";
@@ -53,24 +45,14 @@ std::string to_string(TurquoisAttack a) {
   return "?";
 }
 
-faultplan::FaultPlan canned_plan(FaultLoad load) {
-  switch (load) {
-    case FaultLoad::kFailureFree:
-      return faultplan::canned_plan(faultplan::Role::kNone, "failure-free");
-    case FaultLoad::kFailStop:
-      return faultplan::canned_plan(faultplan::Role::kFailStop, "fail-stop");
-    case FaultLoad::kByzantine:
-      return faultplan::canned_plan(faultplan::Role::kByzantine, "Byzantine");
-  }
-  return faultplan::canned_plan(faultplan::Role::kNone, "failure-free");
-}
-
 faultplan::FaultPlan ScenarioConfig::effective_plan() const {
-  return plan.has_value() ? *plan : canned_plan(fault_load);
+  return plan.has_value()
+             ? *plan
+             : faultplan::canned_plan(faultplan::Role::kNone, "failure-free");
 }
 
 std::string ScenarioConfig::fault_label() const {
-  return plan.has_value() ? plan->name : to_string(fault_load);
+  return effective_plan().name;
 }
 
 ScenarioConfig ScenarioBuilder::build() const {
@@ -100,6 +82,7 @@ struct Deployment {
   std::unique_ptr<spatial::RelayFabric> relay;  // Turquois multi-hop only
   faultplan::BuiltPlan faults;  // injector tree + optional σ meter
   std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
+  std::vector<std::unique_ptr<runtime::SimRuntime>> runtimes;
   std::vector<ProcessId> correct;   // processes expected to decide
   std::vector<ProcessId> faulty;    // crashed or Byzantine
 
@@ -356,49 +339,53 @@ RunResult run_turquois(const ScenarioConfig& cfg,
     bus = d.relay.get();
   }
 
+  const bool fail_stop = plan.role == faultplan::Role::kFailStop;
   for (ProcessId id = 0; id < cfg.n; ++id) {
     d.cpus.push_back(std::make_unique<sim::VirtualCpu>(d.sim));
+    d.runtimes.push_back(
+        std::make_unique<runtime::SimRuntime>(d.sim, *d.cpus.back()));
     endpoints.push_back(
         std::make_unique<net::BroadcastEndpoint>(d.sim, *bus, id));
+    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
+                         d.correct.end();
+    audit::ConsensusAuditor* auditor =
+        correct ? d.auditor.get() : nullptr;  // observe correct processes only
+    turquois::ProcessHooks hooks;
+    hooks.exchange_pool = exchange_pool.get();
+    hooks.on_decide = [&d, id, auditor](Value v, turquois::Phase phase,
+                                        SimTime at) {
+      d.decide_at[id] = at;
+      if (auditor != nullptr) auditor->on_decide(id, v, phase, at);
+    };
+    if (auditor != nullptr) {
+      hooks.on_phase = [id, auditor](turquois::Phase phase, SimTime at) {
+        auditor->on_phase(id, phase, at);
+      };
+    }
+    if (!correct && !fail_stop) {
+      hooks.mutate_outgoing =
+          cfg.attack == TurquoisAttack::kDecidedCoinForge
+              ? adversary::turquois_decided_coin_forge()
+              : adversary::turquois_value_inversion();
+    }
     procs.push_back(std::make_unique<turquois::Process>(
-        d.sim, *endpoints.back(), *d.cpus.back(), tcfg, keys, id,
-        root.derive("proc", id), cfg.costs));
+        *d.runtimes.back(), *endpoints.back(), tcfg, keys, id,
+        root.derive("proc", id), cfg.costs, std::move(hooks)));
     auto* p = procs.back().get();
-    if (exchange_pool != nullptr) p->set_exchange_pool(exchange_pool.get());
     d.decided[id] = [p] { return p->decided(); };
     d.decision[id] = [p]() -> std::optional<Value> {
       return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
     };
     d.sent[id] = [p] { return p->stats().broadcasts; };
-    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
-                         d.correct.end();
-    audit::ConsensusAuditor* auditor =
-        correct ? d.auditor.get() : nullptr;  // observe correct processes only
-    p->set_on_decide([&d, id, auditor](Value v, turquois::Phase phase,
-                                       SimTime at) {
-      d.decide_at[id] = at;
-      if (auditor != nullptr) auditor->on_decide(id, v, phase, at);
-    });
-    if (auditor != nullptr) {
-      p->set_on_phase([id, auditor](turquois::Phase phase, SimTime at) {
-        auditor->on_phase(id, phase, at);
-      });
-    }
   }
 
   Rng start_rng = root.derive("start", 0);
-  const bool fail_stop = plan.role == faultplan::Role::kFailStop;
   for (ProcessId id = 0; id < cfg.n; ++id) {
     const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
                         d.faulty.end();
     if (faulty && fail_stop) {
       procs[id]->crash();
       continue;
-    }
-    if (faulty) {
-      procs[id]->set_mutator(cfg.attack == TurquoisAttack::kDecidedCoinForge
-                                 ? adversary::turquois_decided_coin_forge()
-                                 : adversary::turquois_value_inversion());
     }
     const auto offset = static_cast<SimDuration>(start_rng.uniform(
         static_cast<std::uint64_t>(cfg.start_spread) + 1));
@@ -528,28 +515,31 @@ RunResult run_bracha(const ScenarioConfig& cfg,
     const auto strategy = (faulty && plan.role == faultplan::Role::kByzantine)
                               ? bracha::Strategy::kValueInversion
                               : bracha::Strategy::kHonest;
+    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
+                         d.correct.end();
+    audit::ConsensusAuditor* auditor = correct ? d.auditor.get() : nullptr;
+    bracha::ProcessHooks hooks;
+    hooks.on_decide = [&d, id, auditor](Value v, std::uint32_t round,
+                                        SimTime at) {
+      d.decide_at[id] = at;
+      if (auditor != nullptr) auditor->on_decide(id, v, round, at);
+    };
+    if (auditor != nullptr) {
+      hooks.on_round = [id, auditor](std::uint32_t round, SimTime at) {
+        auditor->on_phase(id, round, at);
+      };
+    }
+    d.runtimes.push_back(
+        std::make_unique<runtime::SimRuntime>(d.sim, *d.cpus.back()));
     procs.push_back(std::make_unique<bracha::Process>(
-        d.sim, *hosts.back(), *d.cpus.back(), bcfg, id,
-        root.derive("proc", id), cfg.costs, strategy));
+        *d.runtimes.back(), *hosts.back(), bcfg, id, root.derive("proc", id),
+        cfg.costs, strategy, std::move(hooks)));
     auto* p = procs.back().get();
     d.decided[id] = [p] { return p->decided(); };
     d.decision[id] = [p]() -> std::optional<Value> {
       return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
     };
     d.sent[id] = [p] { return p->stats().messages_sent; };
-    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
-                         d.correct.end();
-    audit::ConsensusAuditor* auditor = correct ? d.auditor.get() : nullptr;
-    p->set_on_decide([&d, id, auditor](Value v, std::uint32_t round,
-                                       SimTime at) {
-      d.decide_at[id] = at;
-      if (auditor != nullptr) auditor->on_decide(id, v, round, at);
-    });
-    if (auditor != nullptr) {
-      p->set_on_round([id, auditor](std::uint32_t round, SimTime at) {
-        auditor->on_phase(id, round, at);
-      });
-    }
   }
 
   if (plan.role == faultplan::Role::kFailStop) {
@@ -634,28 +624,31 @@ RunResult run_abba(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
     const auto strategy = (faulty && plan.role == faultplan::Role::kByzantine)
                               ? abba::Strategy::kInvalidCrypto
                               : abba::Strategy::kHonest;
+    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
+                         d.correct.end();
+    audit::ConsensusAuditor* auditor = correct ? d.auditor.get() : nullptr;
+    abba::ProcessHooks hooks;
+    hooks.on_decide = [&d, id, auditor](Value v, std::uint32_t round,
+                                        SimTime at) {
+      d.decide_at[id] = at;
+      if (auditor != nullptr) auditor->on_decide(id, v, round, at);
+    };
+    if (auditor != nullptr) {
+      hooks.on_round = [id, auditor](std::uint32_t round, SimTime at) {
+        auditor->on_phase(id, round, at);
+      };
+    }
+    d.runtimes.push_back(
+        std::make_unique<runtime::SimRuntime>(d.sim, *d.cpus.back()));
     procs.push_back(std::make_unique<abba::Process>(
-        d.sim, *hosts.back(), *d.cpus.back(), acfg, dealer, id,
-        root.derive("proc", id), cfg.costs, strategy));
+        *d.runtimes.back(), *hosts.back(), acfg, dealer, id,
+        root.derive("proc", id), cfg.costs, strategy, std::move(hooks)));
     auto* p = procs.back().get();
     d.decided[id] = [p] { return p->decided(); };
     d.decision[id] = [p]() -> std::optional<Value> {
       return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
     };
     d.sent[id] = [p] { return p->stats().messages_sent; };
-    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
-                         d.correct.end();
-    audit::ConsensusAuditor* auditor = correct ? d.auditor.get() : nullptr;
-    p->set_on_decide([&d, id, auditor](Value v, std::uint32_t round,
-                                       SimTime at) {
-      d.decide_at[id] = at;
-      if (auditor != nullptr) auditor->on_decide(id, v, round, at);
-    });
-    if (auditor != nullptr) {
-      p->set_on_round([id, auditor](std::uint32_t round, SimTime at) {
-        auditor->on_phase(id, round, at);
-      });
-    }
   }
 
   if (plan.role == faultplan::Role::kFailStop) {

@@ -38,13 +38,6 @@ namespace turq::harness {
 enum class Protocol { kTurquois, kBracha, kAbba };
 enum class ProposalDist { kUnanimous, kDivergent };
 
-/// Deprecated alias for the three canned fault campaigns of the paper's
-/// tables. New code sets ScenarioConfig::plan (a faultplan::FaultPlan)
-/// instead; this enum maps 1:1 onto faultplan::canned_plan and exists so
-/// the table benches keep compiling — and their reports keep their bytes —
-/// unchanged.
-enum class FaultLoad { kFailureFree, kFailStop, kByzantine };
-
 /// Which outgoing-message strategy Byzantine Turquois processes run. The
 /// paper's evaluation strategy (§7.2) is value inversion; the decided-coin
 /// forge is the insider attack on the unsigned (status, from_coin) header
@@ -54,13 +47,8 @@ enum class TurquoisAttack { kValueInversion, kDecidedCoinForge };
 
 std::string to_string(TurquoisAttack a);
 
-/// The canned plan a FaultLoad aliases: the matching role plus the ambient
-/// channel clause, labeled with the legacy table name.
-[[nodiscard]] faultplan::FaultPlan canned_plan(FaultLoad load);
-
 std::string to_string(Protocol p);
 std::string to_string(ProposalDist d);
-std::string to_string(FaultLoad f);
 
 struct ScenarioConfig {
   Protocol protocol = Protocol::kTurquois;
@@ -68,12 +56,11 @@ struct ScenarioConfig {
   std::uint32_t n = 4;
   ProposalDist distribution = ProposalDist::kUnanimous;
 
-  /// Deprecated alias: consulted only when `plan` is unset, in which case
-  /// the scenario runs canned_plan(fault_load).
-  FaultLoad fault_load = FaultLoad::kFailureFree;
   /// The fault campaign. When set it fully describes the injected faults
-  /// (ambient loss applies only through a kAmbient clause) and overrides
-  /// `fault_load`.
+  /// (ambient loss applies only through a kAmbient clause). Unset runs the
+  /// canned failure-free plan. (The former FaultLoad alias is retired —
+  /// use faultplan::canned_plan / faultplan::plan_from_name for the paper's
+  /// three table campaigns.)
   std::optional<faultplan::FaultPlan> plan;
   /// Byzantine strategy for Turquois faulty processes (see TurquoisAttack).
   TurquoisAttack attack = TurquoisAttack::kValueInversion;
@@ -182,7 +169,7 @@ struct ScenarioConfig {
   [[nodiscard]] std::uint32_t k() const { return n - f(); }
 
   /// The plan this scenario actually runs: `plan` when set, otherwise the
-  /// canned plan aliased by `fault_load`.
+  /// canned failure-free plan.
   [[nodiscard]] faultplan::FaultPlan effective_plan() const;
   /// Label for tables and report cells — the effective plan's name. Canned
   /// plans keep the legacy strings ("failure-free", "fail-stop",
@@ -210,12 +197,6 @@ class ScenarioBuilder {
   ScenarioBuilder& group_size(std::uint32_t n) { cfg_.n = n; return *this; }
   ScenarioBuilder& distribution(ProposalDist d) {
     cfg_.distribution = d;
-    return *this;
-  }
-  /// Canned campaign via the deprecated alias (clears any explicit plan).
-  ScenarioBuilder& faults(FaultLoad load) {
-    cfg_.fault_load = load;
-    cfg_.plan.reset();
     return *this;
   }
   ScenarioBuilder& plan(faultplan::FaultPlan p) {

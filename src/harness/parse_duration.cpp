@@ -1,0 +1,41 @@
+#include "harness/parse_duration.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace turq::harness {
+
+std::optional<SimDuration> parse_duration(std::string_view text,
+                                          SimDuration default_unit) {
+  if (text.empty() || default_unit <= 0) return std::nullopt;
+
+  // Split the numeric prefix from the suffix. strtod needs a terminated
+  // buffer; flag values are short, so a copy is fine.
+  const std::string buf(text);
+  const char* begin = buf.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;  // no digits at all
+  if (!std::isfinite(value) || value < 0.0) return std::nullopt;
+
+  const std::string_view suffix = text.substr(
+      static_cast<std::size_t>(end - begin));
+  double unit = static_cast<double>(default_unit);
+  if (suffix == "ns") unit = 1.0;
+  else if (suffix == "us") unit = static_cast<double>(kMicrosecond);
+  else if (suffix == "ms") unit = static_cast<double>(kMillisecond);
+  else if (suffix == "s") unit = static_cast<double>(kSecond);
+  else if (suffix == "m") unit = 60.0 * static_cast<double>(kSecond);
+  else if (suffix == "h") unit = 3600.0 * static_cast<double>(kSecond);
+  else if (!suffix.empty()) return std::nullopt;
+
+  const double ns = value * unit;
+  if (ns > static_cast<double>(std::numeric_limits<SimDuration>::max())) {
+    return std::nullopt;
+  }
+  return static_cast<SimDuration>(ns);
+}
+
+}  // namespace turq::harness

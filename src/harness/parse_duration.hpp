@@ -1,0 +1,24 @@
+// Shared duration-flag parsing for every CLI tool.
+//
+// One grammar for `--tick`, `--timeout`, `--mux-window`, soak durations and
+// friends: an optional-fraction decimal number plus an optional unit suffix
+// (ns / us / ms / s / m / h). A bare number takes the flag's historical
+// unit via `default_unit`, so "--timeout 120" still means seconds and
+// "--tick 10" still means milliseconds, while "--timeout 1.5m" and
+// "--tick 250us" now work everywhere.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace turq::harness {
+
+/// Parses `text` into simulated-time nanoseconds. Returns std::nullopt on
+/// an empty string, trailing garbage, an unknown suffix, a negative or
+/// non-finite value, or overflow past SimDuration.
+[[nodiscard]] std::optional<SimDuration> parse_duration(
+    std::string_view text, SimDuration default_unit);
+
+}  // namespace turq::harness

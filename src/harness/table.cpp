@@ -14,7 +14,7 @@ std::vector<ScenarioResult> run_table(const TableSpec& spec,
         cfg.protocol = protocol;
         cfg.n = n;
         cfg.distribution = dist;
-        cfg.fault_load = spec.fault_load;
+        cfg.plan = spec.plan;
         results.push_back(run_scenario(cfg));
         std::fprintf(stderr, "  done: %-8s n=%-2u %-10s -> %s\n",
                      to_string(protocol).c_str(), n, to_string(dist).c_str(),

@@ -17,9 +17,10 @@ namespace turq::harness {
 struct TableSpec {
   /// Heading printed above the rendered table.
   std::string title;
-  /// Fault load applied to every cell (the axis that distinguishes
+  /// Fault plan applied to every cell (the axis that distinguishes
   /// Table 1 / 2 / 3).
-  FaultLoad fault_load = FaultLoad::kFailureFree;
+  faultplan::FaultPlan plan =
+      faultplan::canned_plan(faultplan::Role::kNone, "failure-free");
   /// Row axis: one row per group size n.
   std::vector<std::uint32_t> group_sizes = {4, 7, 10, 13, 16};
   /// Column axis, outer: one column pair per protocol.

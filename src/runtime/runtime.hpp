@@ -1,0 +1,74 @@
+// The narrow execution surface a consensus process needs from its host.
+//
+// Turquois (and the Bracha/ABBA baselines) consume exactly five services
+// from whatever runs them: a monotonic clock, cancellable one-shot timers,
+// a derived-stream RNG, and two flavours of crypto-cost accounting (charge
+// for fire-and-forget work, execute for work whose completion gates the
+// next protocol step). Datagram I/O stays behind net::DatagramPort, which
+// already abstracts the medium. Everything else — the event loop, threads,
+// sockets, virtual CPUs — is the runtime's business.
+//
+// Two implementations exist:
+//   runtime::SimRuntime — a 1:1 adapter over sim::Simulator + sim::VirtualCpu.
+//     Event ordering, timer ids, and RNG draws are exactly those of the
+//     direct simulator path, so every golden and BENCH JSON stays
+//     byte-identical through this indirection.
+//   runtime::UdpRuntime — a real-time epoll loop over UDP sockets
+//     (udp_runtime.hpp). Timers fire on the monotonic wall clock; crypto
+//     costs are a no-op by default (the real crypto work is the cost).
+//
+// The same protocol translation units link against either; tools/
+// turquois_node runs one process per OS process on real sockets while the
+// deterministic harnesses keep their bit-exact replays.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/inline_function.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace turq::runtime {
+
+/// Handle for cancelling a scheduled timer. Shares the representation of
+/// sim::EventId so the sim adapter forwards handles untranslated.
+using TimerId = std::uint64_t;
+
+constexpr TimerId kInvalidTimer = 0;
+
+class Runtime {
+ public:
+  /// Timer/completion callback. Move-only, small-buffer — identical to
+  /// sim::Simulator::Callback so protocol lambdas cross unchanged.
+  using Callback = InlineFunction;
+
+  virtual ~Runtime() = default;
+
+  /// Monotonic time in nanoseconds. In the sim this is virtual time; on a
+  /// real runtime it is CLOCK_MONOTONIC anchored at runtime construction.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Schedules `fn` to run once, `delay` from now. Returns a cancellable
+  /// handle; handles are never reused while the timer is pending.
+  virtual TimerId schedule(SimDuration delay, Callback fn) = 0;
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  virtual void cancel(TimerId id) = 0;
+
+  /// Accounts `duration` of modeled compute with no completion callback.
+  /// The sim charges the node's VirtualCpu; real runtimes may sleep or
+  /// (default) do nothing — the genuine computation already took its time.
+  virtual void charge(SimDuration duration) = 0;
+
+  /// Accounts `duration` of modeled compute and invokes `done` when it
+  /// completes. Work is serialized per process, matching VirtualCpu.
+  virtual void execute(SimDuration duration, Callback done) = 0;
+
+  /// An independent RNG stream for (tag, index). Deterministic runtimes
+  /// derive from a seeded root; real-time runtimes may derive from entropy.
+  [[nodiscard]] virtual Rng derive_rng(std::string_view tag,
+                                       std::uint64_t index) const = 0;
+};
+
+}  // namespace turq::runtime

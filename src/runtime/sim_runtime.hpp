@@ -1,0 +1,53 @@
+// Deterministic-simulator adapter for runtime::Runtime.
+//
+// Forwards every verb 1:1 to the wrapped sim::Simulator and sim::VirtualCpu:
+// timer handles are the simulator's EventIds verbatim, charge/execute hit
+// the node's virtual CPU, and derive_rng forwards to a seeded root stream.
+// No verb adds, reorders, or consumes anything, so a protocol stack driven
+// through this adapter replays bit-identically to one built on the
+// simulator directly — the property the golden/BENCH byte-identity tests
+// pin down (tests/runtime_test.cpp).
+#pragma once
+
+#include "runtime/runtime.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace turq::runtime {
+
+class SimRuntime final : public Runtime {
+ public:
+  /// `root` backs derive_rng; harnesses that hand each process its Rng
+  /// directly (the common shape) never call derive_rng and may default it.
+  SimRuntime(sim::Simulator& simulator, sim::VirtualCpu& cpu, Rng root = Rng{0})
+      : sim_(simulator), cpu_(cpu), root_(root) {}
+
+  [[nodiscard]] SimTime now() const override { return sim_.now(); }
+
+  TimerId schedule(SimDuration delay, Callback fn) override {
+    return sim_.schedule(delay, std::move(fn));
+  }
+
+  void cancel(TimerId id) override { sim_.cancel(id); }
+
+  void charge(SimDuration duration) override { cpu_.charge(duration); }
+
+  void execute(SimDuration duration, Callback done) override {
+    cpu_.execute(duration, std::move(done));
+  }
+
+  [[nodiscard]] Rng derive_rng(std::string_view tag,
+                               std::uint64_t index) const override {
+    return root_.derive(tag, index);
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::VirtualCpu& cpu() { return cpu_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::VirtualCpu& cpu_;
+  Rng root_;
+};
+
+}  // namespace turq::runtime

@@ -12,6 +12,7 @@
 #include "common/logging.hpp"
 #include "harness/scheduler.hpp"
 #include "net/frame_mux.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task_pool.hpp"
@@ -106,6 +107,7 @@ class ArrivalGen {
 /// prepared-exchange cache, and the batch of requests it is deciding.
 struct Instance {
   std::uint32_t seq = 0;
+  std::vector<std::unique_ptr<runtime::SimRuntime>> runtimes;
   std::vector<std::unique_ptr<turquois::Process>> procs;
   std::unique_ptr<turquois::ExchangePool> pool;
   std::unique_ptr<audit::ConsensusAuditor> auditor;
@@ -246,17 +248,12 @@ RunResult run_service_rep(const ScenarioConfig& cfg, std::uint64_t rep_index) {
     // decision to kOne).
     Rng start_rng = root.derive("svc-start", seq);
     for (ProcessId id = 0; id < cfg.n; ++id) {
-      raw->procs.push_back(std::make_unique<turquois::Process>(
-          sim, muxes[id]->port(seq), *cpus[id], tcfg, infra, id,
-          root.derive("svc-proc",
-                      static_cast<std::uint64_t>(seq) * cfg.n + id),
-          cfg.costs));
-      turquois::Process* p = raw->procs.back().get();
-      if (raw->pool != nullptr) p->set_exchange_pool(raw->pool.get());
       audit::ConsensusAuditor* auditor = raw->auditor.get();
-      p->set_on_decide([raw, id, auditor, &result, &sum,
-                        k = cfg.k()](Value v, turquois::Phase phase,
-                                     SimTime at) {
+      turquois::ProcessHooks hooks;
+      hooks.exchange_pool = raw->pool.get();
+      hooks.on_decide = [raw, id, auditor, &result, &sum,
+                         k = cfg.k()](Value v, turquois::Phase phase,
+                                      SimTime at) {
         if (auditor != nullptr) auditor->on_decide(id, v, phase, at);
         ++raw->decided_procs;
         if (!raw->committed && raw->decided_procs >= k) {
@@ -268,12 +265,20 @@ RunResult run_service_rep(const ScenarioConfig& cfg, std::uint64_t rep_index) {
           }
           sum.committed += raw->request_arrivals.size();
         }
-      });
+      };
       if (auditor != nullptr) {
-        p->set_on_phase([id, auditor](turquois::Phase phase, SimTime at) {
+        hooks.on_phase = [id, auditor](turquois::Phase phase, SimTime at) {
           auditor->on_phase(id, phase, at);
-        });
+        };
       }
+      raw->runtimes.push_back(
+          std::make_unique<runtime::SimRuntime>(sim, *cpus[id]));
+      raw->procs.push_back(std::make_unique<turquois::Process>(
+          *raw->runtimes.back(), muxes[id]->port(seq), tcfg, infra, id,
+          root.derive("svc-proc",
+                      static_cast<std::uint64_t>(seq) * cfg.n + id),
+          cfg.costs, std::move(hooks)));
+      turquois::Process* p = raw->procs.back().get();
       const auto offset = static_cast<SimDuration>(start_rng.uniform(
           static_cast<std::uint64_t>(cfg.start_spread) + 1));
       if (auditor != nullptr) {

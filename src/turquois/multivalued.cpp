@@ -40,10 +40,13 @@ std::optional<bool> MultiValuedConsensus::run_binary_round(
   }
 
   std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
+  std::vector<std::unique_ptr<runtime::SimRuntime>> runtimes;
   std::vector<std::unique_ptr<net::BroadcastEndpoint>> endpoints;
   std::vector<std::unique_ptr<Process>> procs;
   for (ProcessId id = 0; id < cfg_.n; ++id) {
     cpus.push_back(std::make_unique<sim::VirtualCpu>(sim_));
+    runtimes.push_back(
+        std::make_unique<runtime::SimRuntime>(sim_, *cpus.back()));
     net::DatagramPort* port;
     if (instance_mux_) {
       port = &muxes_[id]->port(round_index);
@@ -52,12 +55,13 @@ std::optional<bool> MultiValuedConsensus::run_binary_round(
           std::make_unique<net::BroadcastEndpoint>(sim_, medium_, id));
       port = endpoints.back().get();
     }
-    procs.push_back(std::make_unique<Process>(
-        sim_, *port, *cpus.back(), cfg_, keys, id,
-        round_rng.derive("proc", id), costs_));
+    ProcessHooks hooks;
     if (id < byzantine.size() && byzantine[id]) {
-      procs.back()->set_mutator(adversary::turquois_value_inversion());
+      hooks.mutate_outgoing = adversary::turquois_value_inversion();
     }
+    procs.push_back(std::make_unique<Process>(
+        *runtimes.back(), *port, cfg_, keys, id, round_rng.derive("proc", id),
+        costs_, std::move(hooks)));
   }
   for (ProcessId id = 0; id < cfg_.n; ++id) {
     procs[id]->propose(proposals[id]);

@@ -30,6 +30,7 @@
 #include "net/broadcast_endpoint.hpp"
 #include "net/frame_mux.hpp"
 #include "net/medium.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "turquois/config.hpp"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "trace/trace.hpp"
 #include "turquois/exchange_pool.hpp"
 
@@ -13,22 +14,50 @@ namespace {
 constexpr std::size_t kMaxPending = 4096;
 }  // namespace
 
-Process::Process(sim::Simulator& simulator, net::DatagramPort& endpoint,
-                 sim::VirtualCpu& cpu, const Config& config,
+Process::Process(std::unique_ptr<runtime::Runtime> owned, runtime::Runtime* rt,
+                 net::DatagramPort& endpoint, const Config& config,
                  const KeyInfrastructure& keys, ProcessId id, Rng rng,
-                 const crypto::CostModel& costs)
-    : sim_(simulator),
+                 const crypto::CostModel& costs, ProcessHooks hooks)
+    : owned_rt_(std::move(owned)),
+      rt_(rt != nullptr ? *rt : *owned_rt_),
       endpoint_(endpoint),
-      cpu_(cpu),
       cfg_(config),
       keys_(keys),
       id_(id),
       rng_(rng),
-      costs_(costs) {
+      costs_(costs),
+      exchange_pool_(hooks.exchange_pool),
+      on_decide_(std::move(hooks.on_decide)),
+      on_phase_(std::move(hooks.on_phase)),
+      mutator_(std::move(hooks.mutate_outgoing)) {
   claimed_.resize(cfg_.n, 0);
   endpoint_.set_handler([this](ProcessId src, BytesView payload) {
     on_datagram(src, payload);
   });
+}
+
+Process::Process(runtime::Runtime& rt, net::DatagramPort& endpoint,
+                 const Config& config, const KeyInfrastructure& keys,
+                 ProcessId id, Rng rng, const crypto::CostModel& costs,
+                 ProcessHooks hooks)
+    : Process(nullptr, &rt, endpoint, config, keys, id, rng, costs,
+              std::move(hooks)) {}
+
+Process::Process(sim::Simulator& simulator, net::DatagramPort& endpoint,
+                 sim::VirtualCpu& cpu, const Config& config,
+                 const KeyInfrastructure& keys, ProcessId id, Rng rng,
+                 const crypto::CostModel& costs)
+    : Process(std::make_unique<runtime::SimRuntime>(simulator, cpu), nullptr,
+              endpoint, config, keys, id, rng, costs, ProcessHooks{}) {}
+
+Process::~Process() {
+  // A live tick timer captures `this`; a real-time runtime may outlive the
+  // process and must not fire into freed memory. (The sim never runs again
+  // after its harness tears down, but cancelling is correct there too.)
+  if (tick_timer_ != runtime::kInvalidTimer) {
+    rt_.cancel(tick_timer_);
+    tick_timer_ = runtime::kInvalidTimer;
+  }
 }
 
 void Process::propose(Value initial) {
@@ -37,14 +66,14 @@ void Process::propose(Value initial) {
   proposed_ = true;
   running_ = true;
   value_ = initial;
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPropose, .process = id_,
                    .phase = phase_,
                    .value = static_cast<std::int64_t>(initial));
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPhaseEnter, .process = id_,
                    .phase = phase_);
-  if (on_phase_) on_phase_(phase_, sim_.now());
+  if (on_phase_) on_phase_(phase_, rt_.now());
   broadcast_state();
   // Drain datagrams buffered before the start signal (modeled OS buffer).
   std::vector<std::pair<ProcessId, Bytes>> queued;
@@ -53,15 +82,15 @@ void Process::propose(Value initial) {
 }
 
 void Process::crash() {
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kCrash, .process = id_,
                    .phase = phase_);
   running_ = false;
   halted_ = true;
   prestart_.clear();
-  if (tick_timer_ != sim::kInvalidEvent) {
-    sim_.cancel(tick_timer_);
-    tick_timer_ = sim::kInvalidEvent;
+  if (tick_timer_ != runtime::kInvalidTimer) {
+    rt_.cancel(tick_timer_);
+    tick_timer_ = runtime::kInvalidTimer;
   }
   endpoint_.close();
 }
@@ -70,18 +99,18 @@ void Process::crash() {
 
 void Process::schedule_tick() {
   if (!running_) return;
-  if (tick_timer_ != sim::kInvalidEvent) sim_.cancel(tick_timer_);
+  if (tick_timer_ != runtime::kInvalidTimer) rt_.cancel(tick_timer_);
   const SimDuration jitter =
       cfg_.tick_jitter > 0
           ? static_cast<SimDuration>(
                 rng_.uniform(static_cast<std::uint64_t>(cfg_.tick_jitter)))
           : 0;
   tick_timer_ =
-      sim_.schedule(cfg_.tick_interval + jitter, [this] { on_tick(); });
+      rt_.schedule(cfg_.tick_interval + jitter, [this] { on_tick(); });
 }
 
 void Process::on_tick() {
-  tick_timer_ = sim::kInvalidEvent;
+  tick_timer_ = runtime::kInvalidTimer;
   if (!running_) return;
   broadcast_state();
 }
@@ -99,7 +128,7 @@ void Process::broadcast_state() {
 
   last_sent_ = state_key;
   ++stats_.broadcasts;
-  cpu_.charge(costs_.udp_send);
+  rt_.charge(costs_.udp_send);
 
   const auto assemble = [&]() -> Bytes {
     Datagram d;
@@ -139,7 +168,7 @@ void Process::broadcast_state() {
   // The payload is frozen from here on; hand it to the pool so a worker can
   // decode + batch-verify it inside the delivery lookahead window.
   if (exchange_pool_ != nullptr) exchange_pool_->prefetch(encoded);
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kStateBroadcast, .process = id_,
                    .phase = phase_,
                    .value = static_cast<std::int64_t>(value_),
@@ -303,7 +332,7 @@ void Process::on_datagram(ProcessId src, BytesView payload) {
   const SimDuration cost =
       costs_.udp_recv +
       static_cast<SimDuration>(contained) * costs_.ots_verify();
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kCrypto,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kCrypto,
                    .kind = trace::Kind::kCryptoOp, .process = id_,
                    .phase = phase_, .value = cost,
                    .bytes = static_cast<std::uint32_t>(contained));
@@ -312,12 +341,12 @@ void Process::on_datagram(ProcessId src, BytesView payload) {
                  static_cast<double>(cost) / 1000.0);
   if (prep != nullptr) {
     // The pool entry (and its payload/datagram/verdicts) outlives the run.
-    cpu_.execute(cost, [this, prep] {
+    rt_.execute(cost, [this, prep] {
       if (!running_) return;
       process_exchange(*prep->datagram, prep->auth);
     });
   } else {
-    cpu_.execute(cost, [this, d = std::move(*local)] {
+    rt_.execute(cost, [this, d = std::move(*local)] {
       if (!running_) return;
       process_exchange(d, {});
     });
@@ -492,7 +521,7 @@ void Process::adopt(const Message& m) {
     ++stats_.coin_flips;
     value_ = binary_value(rng_.coin());
     from_coin_ = true;
-    TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+    TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                      .kind = trace::Kind::kCoinFlip, .process = id_,
                      .phase = phase_,
                      .value = static_cast<std::int64_t>(value_));
@@ -502,10 +531,10 @@ void Process::adopt(const Message& m) {
   }
   status_ = m.status;
   jump_source_ = m;
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPhaseEnter, .process = id_,
                    .phase = phase_, .value = 1);  // value=1: entered by jump
-  if (on_phase_) on_phase_(phase_, sim_.now());
+  if (on_phase_) on_phase_(phase_, rt_.now());
 }
 
 void Process::quorum_transition() {
@@ -541,7 +570,7 @@ void Process::quorum_transition() {
         ++stats_.coin_flips;
         value_ = binary_value(rng_.coin());
         from_coin_ = true;
-        TURQ_TRACE_EVENT(.at = sim_.now(),
+        TURQ_TRACE_EVENT(.at = rt_.now(),
                          .category = trace::Category::kProtocol,
                          .kind = trace::Kind::kCoinFlip, .process = id_,
                          .phase = phase_,
@@ -552,10 +581,10 @@ void Process::quorum_transition() {
   }
   phase_ += 1;  // line 38
   jump_source_.reset();
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kPhaseEnter, .process = id_,
                    .phase = phase_);
-  if (on_phase_) on_phase_(phase_, sim_.now());
+  if (on_phase_) on_phase_(phase_, rt_.now());
 }
 
 std::string Process::explain_pending() const {
@@ -581,14 +610,14 @@ void Process::maybe_decide() {
   TURQ_ASSERT_MSG(is_binary(value_), "decided on a non-binary value");
   decision_ = value_;
   TURQ_DEBUG("p%u decided %s at phase %u t=%.3fms", id_,
-             to_string(value_).c_str(), phase_, to_milliseconds(sim_.now()));
-  TURQ_TRACE_EVENT(.at = sim_.now(), .category = trace::Category::kProtocol,
+             to_string(value_).c_str(), phase_, to_milliseconds(rt_.now()));
+  TURQ_TRACE_EVENT(.at = rt_.now(), .category = trace::Category::kProtocol,
                    .kind = trace::Kind::kDecide, .process = id_,
                    .phase = phase_,
                    .value = static_cast<std::int64_t>(*decision_));
   trace::observe("turquois.decide_phase", {3, 6, 9, 12, 15, 18, 24, 30},
                  phase_);
-  if (on_decide_) on_decide_(*decision_, phase_, sim_.now());
+  if (on_decide_) on_decide_(*decision_, phase_, rt_.now());
 }
 
 }  // namespace turq::turquois

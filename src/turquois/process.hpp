@@ -17,36 +17,70 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "crypto/cost_model.hpp"
 #include "net/datagram_port.hpp"
-#include "sim/cpu.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/runtime.hpp"
 #include "turquois/config.hpp"
 #include "turquois/key_infra.hpp"
 #include "turquois/message.hpp"
 #include "turquois/validation.hpp"
 #include "turquois/view.hpp"
 
+namespace turq::sim {
+class Simulator;
+class VirtualCpu;
+}  // namespace turq::sim
+
 namespace turq::turquois {
 
 class ExchangePool;
 
+/// Decision callback: value, the phase at which it was reached, sim time.
+using DecideHandler = std::function<void(Value, Phase, SimTime)>;
+/// Phase-entry callback: the phase entered (via propose, a quorum
+/// transition, or a jump) and the sim time. Purely observational — used
+/// by the consensus auditor; never steers protocol behaviour.
+using PhaseHandler = std::function<void(Phase, SimTime)>;
+/// Byzantine strategy hook, applied to every outgoing main message before
+/// it is signed. Must keep (phase, value) inside the one-time key domain.
+using Mutator = std::function<void(Message&)>;
+
+/// Every observation/extension point a Process exposes, bundled so
+/// construction states the full contract in one place (the former
+/// set_on_decide / set_on_phase / set_mutator / set_exchange_pool sprawl).
+/// All fields optional; default hooks observe nothing and mutate nothing.
+struct ProcessHooks {
+  DecideHandler on_decide;
+  PhaseHandler on_phase;
+  Mutator mutate_outgoing;
+  /// Shares a per-repetition prepared-exchange cache (decode + batched
+  /// authenticity, computed once per unique payload across all receivers).
+  /// Optional; without it each delivery decodes and verifies privately.
+  /// Either way the observable run is bit-identical — see exchange_pool.hpp.
+  ExchangePool* exchange_pool = nullptr;
+};
+
 class Process {
  public:
-  /// Decision callback: value, the phase at which it was reached, sim time.
-  using DecideHandler = std::function<void(Value, Phase, SimTime)>;
-  /// Phase-entry callback: the phase entered (via propose, a quorum
-  /// transition, or a jump) and the sim time. Purely observational — used
-  /// by the consensus auditor; never steers protocol behaviour.
-  using PhaseHandler = std::function<void(Phase, SimTime)>;
-  /// Byzantine strategy hook, applied to every outgoing main message before
-  /// it is signed. Must keep (phase, value) inside the one-time key domain.
-  using Mutator = std::function<void(Message&)>;
+  using DecideHandler = turquois::DecideHandler;
+  using PhaseHandler = turquois::PhaseHandler;
+  using Mutator = turquois::Mutator;
 
+  /// Runtime-agnostic constructor: the process runs wherever `rt` ticks —
+  /// the deterministic simulator (runtime::SimRuntime) or real sockets and
+  /// wall-clock timers (runtime::UdpRuntime). `rt` and `endpoint` must
+  /// outlive the process.
+  Process(runtime::Runtime& rt, net::DatagramPort& endpoint,
+          const Config& config, const KeyInfrastructure& keys, ProcessId id,
+          Rng rng, const crypto::CostModel& costs, ProcessHooks hooks = {});
+
+  /// Deprecated sim-bound shim (kept for one PR): wraps `simulator` + `cpu`
+  /// in an owned runtime::SimRuntime. Prefer the runtime constructor.
   Process(sim::Simulator& simulator, net::DatagramPort& endpoint,
           sim::VirtualCpu& cpu, const Config& config,
           const KeyInfrastructure& keys, ProcessId id, Rng rng,
@@ -55,20 +89,19 @@ class Process {
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
 
+  ~Process();
+
   /// Sets the initial proposal and starts task T1. May be called once.
   void propose(Value initial);
 
   /// Halts all activity (fail-stop).
   void crash();
 
+  // Deprecated setter shims (kept for one PR): pass a ProcessHooks at
+  // construction instead.
   void set_on_decide(DecideHandler handler) { on_decide_ = std::move(handler); }
   void set_on_phase(PhaseHandler handler) { on_phase_ = std::move(handler); }
   void set_mutator(Mutator mutator) { mutator_ = std::move(mutator); }
-
-  /// Shares a per-repetition prepared-exchange cache (decode + batched
-  /// authenticity, computed once per unique payload across all receivers).
-  /// Optional; without it each delivery decodes and verifies privately.
-  /// Either way the observable run is bit-identical — see exchange_pool.hpp.
   void set_exchange_pool(ExchangePool* pool) { exchange_pool_ = pool; }
 
   [[nodiscard]] ProcessId id() const { return id_; }
@@ -129,9 +162,16 @@ class Process {
   void append_quorum(std::vector<Message>& out, Phase phase,
                      std::optional<Value> value, std::size_t want) const;
 
-  sim::Simulator& sim_;
+  /// Delegation target of the two public constructors: exactly one of
+  /// `owned` (a shim-built SimRuntime) or `rt` is non-null.
+  Process(std::unique_ptr<runtime::Runtime> owned, runtime::Runtime* rt,
+          net::DatagramPort& endpoint, const Config& config,
+          const KeyInfrastructure& keys, ProcessId id, Rng rng,
+          const crypto::CostModel& costs, ProcessHooks hooks);
+
+  std::unique_ptr<runtime::Runtime> owned_rt_;  // declared before rt_
+  runtime::Runtime& rt_;
   net::DatagramPort& endpoint_;
-  sim::VirtualCpu& cpu_;
   const Config& cfg_;
   const KeyInfrastructure& keys_;
   ProcessId id_;
@@ -157,7 +197,7 @@ class Process {
   bool halted_ = false;
   bool proposed_ = false;
   std::vector<std::pair<ProcessId, Bytes>> prestart_;
-  sim::EventId tick_timer_ = sim::kInvalidEvent;
+  runtime::TimerId tick_timer_ = runtime::kInvalidTimer;
 
   // Explicit-justification trigger: last broadcast state and how many
   // consecutive ticks re-sent it (escalation counter).

@@ -2,7 +2,7 @@
 // hand-computed values, the per-round accountant, the spec grammar, plan
 // validation (directly and through the ScenarioBuilder), the per-clause
 // Rng stream pinning that fixes the injector aliasing bug, equivalence of
-// the deprecated FaultLoad alias with explicitly-set canned plans, and
+// the registry's named plans with explicitly-built canned plans, and
 // bit-identity of plan-driven scenarios across scheduler job counts —
 // including a golden campaign-cell report.
 #include <gtest/gtest.h>
@@ -24,7 +24,6 @@
 namespace turq::faultplan {
 namespace {
 
-using harness::FaultLoad;
 using harness::Protocol;
 using harness::ProposalDist;
 using harness::ScenarioBuilder;
@@ -251,12 +250,16 @@ TEST(ScenarioBuilderTest, BuildValidatesPlanFields) {
   ASSERT_TRUE(ok.plan.has_value());
   EXPECT_EQ(ok.fault_label(), "adaptive");
 
-  // faults() reverts to the deprecated alias and clears the plan.
-  const ScenarioConfig legacy = ScenarioBuilder{ok}
-                                    .faults(FaultLoad::kByzantine)
-                                    .build();
-  EXPECT_FALSE(legacy.plan.has_value());
-  EXPECT_EQ(legacy.fault_label(), "Byzantine");
+  // plan() replaces any previously-set plan wholesale.
+  const ScenarioConfig swapped =
+      ScenarioBuilder{ok}
+          .plan(canned_plan(Role::kByzantine, "Byzantine"))
+          .build();
+  ASSERT_TRUE(swapped.plan.has_value());
+  EXPECT_EQ(swapped.fault_label(), "Byzantine");
+
+  // An unset plan resolves to the canned failure-free plan.
+  EXPECT_EQ(ScenarioConfig{}.fault_label(), "failure-free");
 }
 
 // ------------------------------------------------------- stream pinning ---
@@ -333,21 +336,30 @@ std::string report_json(const ScenarioConfig& cfg, const std::string& name) {
   return harness::to_json(report);
 }
 
-TEST(CannedAlias, DeprecatedFaultLoadMatchesExplicitPlanByteForByte) {
-  for (const FaultLoad load :
-       {FaultLoad::kFailureFree, FaultLoad::kFailStop, FaultLoad::kByzantine}) {
-    ScenarioConfig legacy;
-    legacy.n = 4;
-    legacy.repetitions = 4;
-    legacy.seed = 0x5EED;
-    legacy.fault_load = load;
+TEST(CannedAlias, RegistryNamesMatchExplicitCannedPlansByteForByte) {
+  // The registry's legacy names must resolve to exactly the canned plans
+  // the retired FaultLoad alias used to build — same labels, same Rng
+  // streams, same report bytes.
+  struct Case {
+    const char* registry_name;
+    Role role;
+    const char* label;
+  };
+  for (const Case& c : {Case{"none", Role::kNone, "failure-free"},
+                        Case{"failstop", Role::kFailStop, "fail-stop"},
+                        Case{"byzantine", Role::kByzantine, "Byzantine"}}) {
+    ScenarioConfig named;
+    named.n = 4;
+    named.repetitions = 4;
+    named.seed = 0x5EED;
+    named.plan = *plan_from_name(c.registry_name, nullptr);
 
-    ScenarioConfig planned = legacy;
-    planned.fault_load = FaultLoad::kFailureFree;  // must be ignored
-    planned.plan = harness::canned_plan(load);
+    ScenarioConfig canned = named;
+    canned.plan = canned_plan(c.role, c.label);
 
-    EXPECT_EQ(report_json(legacy, "alias"), report_json(planned, "alias"))
-        << "load " << static_cast<int>(load);
+    EXPECT_EQ(report_json(named, "alias"), report_json(canned, "alias"))
+        << "registry name " << c.registry_name;
+    EXPECT_EQ(named.fault_label(), c.label);
   }
 }
 

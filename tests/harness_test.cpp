@@ -1,6 +1,6 @@
-// Tests for the experiment harness: every protocol under every fault load
-// must complete with safety intact, and the table machinery must format
-// results faithfully.
+// Tests for the experiment harness: every protocol under every canned
+// fault plan must complete with safety intact, and the table machinery must
+// format results faithfully.
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hpp"
@@ -9,20 +9,32 @@
 namespace turq::harness {
 namespace {
 
+faultplan::FaultPlan canned(faultplan::Role role) {
+  switch (role) {
+    case faultplan::Role::kFailStop:
+      return faultplan::canned_plan(role, "fail-stop");
+    case faultplan::Role::kByzantine:
+      return faultplan::canned_plan(role, "Byzantine");
+    default:
+      return faultplan::canned_plan(role, "failure-free");
+  }
+}
+
 ScenarioConfig quick(Protocol p, std::uint32_t n, ProposalDist dist,
-                     FaultLoad load) {
+                     faultplan::Role role) {
   ScenarioConfig cfg;
   cfg.protocol = p;
   cfg.n = n;
   cfg.distribution = dist;
-  cfg.fault_load = load;
+  cfg.plan = canned(role);
   cfg.repetitions = 3;
   cfg.seed = 4207;
   return cfg;
 }
 
 class HarnessGrid
-    : public ::testing::TestWithParam<std::tuple<Protocol, FaultLoad>> {};
+    : public ::testing::TestWithParam<std::tuple<Protocol, faultplan::Role>> {
+};
 
 TEST_P(HarnessGrid, CompletesWithSafety) {
   const auto [protocol, load] = GetParam();
@@ -38,9 +50,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllProtocolsAllLoads, HarnessGrid,
     ::testing::Combine(::testing::Values(Protocol::kTurquois, Protocol::kAbba,
                                          Protocol::kBracha),
-                       ::testing::Values(FaultLoad::kFailureFree,
-                                         FaultLoad::kFailStop,
-                                         FaultLoad::kByzantine)));
+                       ::testing::Values(faultplan::Role::kNone,
+                                         faultplan::Role::kFailStop,
+                                         faultplan::Role::kByzantine)));
 
 TEST(Harness, UnanimousValidityEnforced) {
   // Under the unanimous load every correct process proposes 1; deciding 0
@@ -48,14 +60,14 @@ TEST(Harness, UnanimousValidityEnforced) {
   for (const Protocol p :
        {Protocol::kTurquois, Protocol::kAbba, Protocol::kBracha}) {
     const ScenarioResult r = run_scenario(
-        quick(p, 4, ProposalDist::kUnanimous, FaultLoad::kByzantine));
+        quick(p, 4, ProposalDist::kUnanimous, faultplan::Role::kByzantine));
     EXPECT_EQ(r.safety_violations, 0u) << to_string(p);
   }
 }
 
 TEST(Harness, LatencySamplesOnePerCorrectProcess) {
   ScenarioConfig cfg = quick(Protocol::kTurquois, 7, ProposalDist::kUnanimous,
-                             FaultLoad::kFailureFree);
+                             faultplan::Role::kNone);
   const RunResult r = run_once(cfg, 0);
   EXPECT_TRUE(r.all_correct_decided);
   EXPECT_EQ(r.latencies_ms.size(), 7u);
@@ -64,7 +76,7 @@ TEST(Harness, LatencySamplesOnePerCorrectProcess) {
 
 TEST(Harness, FailStopExcludesCrashedFromSamples) {
   ScenarioConfig cfg = quick(Protocol::kTurquois, 7, ProposalDist::kUnanimous,
-                             FaultLoad::kFailStop);
+                             faultplan::Role::kFailStop);
   const RunResult r = run_once(cfg, 0);
   EXPECT_TRUE(r.all_correct_decided);
   EXPECT_EQ(r.latencies_ms.size(), 5u);  // n - f = 7 - 2
@@ -74,7 +86,7 @@ TEST(Harness, FailStopExcludesCrashedFromSamples) {
 TEST(Harness, RunsAreReproducible) {
   const ScenarioConfig cfg = quick(Protocol::kTurquois, 4,
                                    ProposalDist::kDivergent,
-                                   FaultLoad::kFailureFree);
+                                   faultplan::Role::kNone);
   const RunResult a = run_once(cfg, 1);
   const RunResult b = run_once(cfg, 1);
   EXPECT_EQ(a.latencies_ms, b.latencies_ms);
@@ -88,15 +100,15 @@ TEST(Harness, TurquoisFasterThanBaselines) {
   // The paper's headline, at miniature scale.
   const double turquois =
       run_scenario(quick(Protocol::kTurquois, 7, ProposalDist::kUnanimous,
-                         FaultLoad::kFailureFree))
+                         faultplan::Role::kNone))
           .mean();
   const double abba =
       run_scenario(quick(Protocol::kAbba, 7, ProposalDist::kUnanimous,
-                         FaultLoad::kFailureFree))
+                         faultplan::Role::kNone))
           .mean();
   const double bracha =
       run_scenario(quick(Protocol::kBracha, 7, ProposalDist::kUnanimous,
-                         FaultLoad::kFailureFree))
+                         faultplan::Role::kNone))
           .mean();
   EXPECT_LT(turquois, abba);
   EXPECT_LT(abba, bracha);
@@ -105,11 +117,11 @@ TEST(Harness, TurquoisFasterThanBaselines) {
 TEST(Harness, ByzantineLoadSlowsTurquoisDown) {
   const double clean =
       run_scenario(quick(Protocol::kTurquois, 7, ProposalDist::kDivergent,
-                         FaultLoad::kFailureFree))
+                         faultplan::Role::kNone))
           .mean();
   const double attacked =
       run_scenario(quick(Protocol::kTurquois, 7, ProposalDist::kDivergent,
-                         FaultLoad::kByzantine))
+                         faultplan::Role::kByzantine))
           .mean();
   EXPECT_GT(attacked, clean * 0.8);  // must not be *faster* than clean
 }
@@ -132,7 +144,7 @@ TEST(Table, FormatCell) {
 TEST(Table, RunAndRenderSmallGrid) {
   TableSpec spec;
   spec.title = "test table";
-  spec.fault_load = FaultLoad::kFailureFree;
+  spec.plan = canned(faultplan::Role::kNone);
   spec.group_sizes = {4};
   spec.protocols = {Protocol::kTurquois};
   spec.distributions = {ProposalDist::kUnanimous, ProposalDist::kDivergent};

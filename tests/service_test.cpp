@@ -298,7 +298,8 @@ TEST(Service, ValidateRejectsDegenerateConfigs) {
   EXPECT_TRUE(service::validate_service(cfg).has_value());
 
   cfg = small_service_config();
-  cfg.fault_load = harness::FaultLoad::kByzantine;
+  cfg.plan =
+      faultplan::canned_plan(faultplan::Role::kByzantine, "Byzantine");
   EXPECT_TRUE(service::validate_service(cfg).has_value());
 
   cfg = small_service_config();

@@ -99,6 +99,8 @@ binaries=(
   "$build_dir/tools/turquois_campaign"
   "$build_dir/tools/turquois_fuzz"
   "$build_dir/tools/trace_inspect"
+  "$build_dir/tools/turquois_node"
+  "$build_dir/tools/turquois_soak"
   "$build_dir/bench/table1_failure_free"
   "$build_dir/bench/large_n"
   "$build_dir/bench/ablation_sigma"

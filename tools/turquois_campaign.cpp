@@ -26,6 +26,7 @@
 
 #include "faultplan/spec.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parse_duration.hpp"
 #include "harness/report.hpp"
 #include "harness/scheduler.hpp"
 
@@ -147,6 +148,25 @@ struct SpatialAxis {
 
 }  // namespace
 
+namespace {
+
+// Parses a duration flag via harness::parse_duration, exiting with a
+// diagnostic on garbage. Accepts bare numbers in the flag's historical
+// unit plus ns/us/ms/s/m/h suffixes.
+turq::SimDuration duration_flag(const char* flag, const char* text,
+                                turq::SimDuration default_unit) {
+  const auto d = turq::harness::parse_duration(text, default_unit);
+  if (!d.has_value()) {
+    std::fprintf(stderr,
+                 "%s: bad duration '%s' (expected e.g. 250ms, 1.5s, 2m)\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return *d;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<Protocol> protocols{Protocol::kTurquois};
   std::vector<std::uint32_t> sizes{4, 7};
@@ -212,7 +232,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--loss") {
       loss_rate = std::atof(next());
     } else if (arg == "--timeout") {
-      timeout = std::atoll(next()) * kSecond;
+      timeout = duration_flag("--timeout", next(), kSecond);
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--jobs") {

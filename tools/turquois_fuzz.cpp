@@ -37,6 +37,7 @@
 
 #include "faultplan/spec.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parse_duration.hpp"
 #include "harness/scheduler.hpp"
 
 using namespace turq;
@@ -292,6 +293,25 @@ ShrinkResult shrink(ScenarioConfig cfg, Violation violation,
 
 }  // namespace
 
+namespace {
+
+// Parses a duration flag via harness::parse_duration, exiting with a
+// diagnostic on garbage. Accepts bare numbers in the flag's historical
+// unit plus ns/us/ms/s/m/h suffixes.
+turq::SimDuration duration_flag(const char* flag, const char* text,
+                                turq::SimDuration default_unit) {
+  const auto d = turq::harness::parse_duration(text, default_unit);
+  if (!d.has_value()) {
+    std::fprintf(stderr,
+                 "%s: bad duration '%s' (expected e.g. 250ms, 1.5s, 2m)\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return *d;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::uint32_t seeds = 50;
   std::uint64_t seed_base = 1;
@@ -356,7 +376,7 @@ int main(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (arg == "--timeout") {
-      timeout = std::atoll(next()) * kSecond;
+      timeout = duration_flag("--timeout", next(), kSecond);
     } else if (arg == "--audit-phase-bound") {
       audit_phase_bound = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--jobs") {

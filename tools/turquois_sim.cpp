@@ -18,6 +18,7 @@
 
 #include "faultplan/spec.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parse_duration.hpp"
 #include "harness/report.hpp"
 #include "harness/scheduler.hpp"
 #include "service/service.hpp"
@@ -120,6 +121,21 @@ namespace {
   std::exit(2);
 }
 
+// Parses a duration flag via harness::parse_duration, exiting with a
+// diagnostic on garbage. Accepts bare numbers in the flag's historical
+// unit plus ns/us/ms/s/m/h suffixes.
+turq::SimDuration duration_flag(const char* flag, const char* text,
+                                turq::SimDuration default_unit) {
+  const auto d = turq::harness::parse_duration(text, default_unit);
+  if (!d.has_value()) {
+    std::fprintf(stderr,
+                 "%s: bad duration '%s' (expected e.g. 250ms, 1.5s, 2m)\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return *d;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,20 +168,16 @@ int main(int argc, char** argv) {
       else usage(argv[0]);
     } else if (arg == "--faults") {
       const std::string_view f = next();
-      // The legacy names keep setting the deprecated alias (exact legacy
-      // config bytes); everything else goes through the plan registry.
-      if (f == "none") cfg.fault_load = FaultLoad::kFailureFree;
-      else if (f == "failstop") cfg.fault_load = FaultLoad::kFailStop;
-      else if (f == "byzantine") cfg.fault_load = FaultLoad::kByzantine;
-      else {
-        std::string error;
-        const auto plan = faultplan::plan_from_name(f, &error);
-        if (!plan.has_value()) {
-          std::fprintf(stderr, "bad --faults plan: %s\n", error.c_str());
-          return 2;
-        }
-        cfg.plan = *plan;
+      // Everything goes through the plan registry; the legacy names
+      // ("none", "failstop", "byzantine") resolve to the canned plans with
+      // the legacy labels and Rng streams.
+      std::string error;
+      const auto plan = faultplan::plan_from_name(f, &error);
+      if (!plan.has_value()) {
+        std::fprintf(stderr, "bad --faults plan: %s\n", error.c_str());
+        return 2;
       }
+      cfg.plan = *plan;
     } else if (arg == "--attack") {
       const std::string_view a = next();
       if (a == "value-inversion") cfg.attack = TurquoisAttack::kValueInversion;
@@ -202,11 +214,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--no-bursts") {
       cfg.bursty_loss = false;
     } else if (arg == "--tick") {
-      cfg.tick_interval = std::atoll(next()) * kMillisecond;
+      cfg.tick_interval = duration_flag("--tick", next(), kMillisecond);
     } else if (arg == "--broadcast-rate") {
       cfg.medium.broadcast_rate_bps = std::atof(next());
     } else if (arg == "--timeout") {
-      cfg.run_timeout = std::atoll(next()) * kSecond;
+      cfg.run_timeout = duration_flag("--timeout", next(), kSecond);
     } else if (arg == "--seed") {
       cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--jobs") {
@@ -233,7 +245,8 @@ int main(int argc, char** argv) {
       cfg.service.total_requests =
           static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--mux-window") {
-      cfg.service.mux_window = std::atoll(next()) * kMillisecond;
+      cfg.service.mux_window =
+          duration_flag("--mux-window", next(), kMillisecond);
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--verbose") {

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Real-socket smoke test, run by the CI udp-smoke job and usable locally:
+#
+#   tools/udp_smoke.sh [--soak SECONDS] [BUILD_DIR]
+#
+# Launches 4 turquois_node processes on loopback (one OS process per
+# protocol process), requires every node to decide within the deadline,
+# and replays their PROPOSE/DECIDE logs through the consensus auditor via
+# `turquois_soak --verify-logs`. With --soak S it additionally runs the
+# in-process soak harness for S seconds of back-to-back instances.
+# Logs land in $SMOKE_DIR (default: a fresh temp dir, printed on failure).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+soak_seconds=0
+build_dir=build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --soak) soak_seconds="$2"; shift 2 ;;
+    *) build_dir="$1"; shift ;;
+  esac
+done
+
+node_bin="$build_dir/tools/turquois_node"
+soak_bin="$build_dir/tools/turquois_soak"
+for bin in "$node_bin" "$soak_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "missing binary: $bin (build first, or pass the build dir)"
+    exit 1
+  fi
+done
+
+smoke_dir="${SMOKE_DIR:-$(mktemp -d /tmp/turquois-smoke.XXXXXX)}"
+mkdir -p "$smoke_dir"
+# Pick a base port from the PID to dodge collisions with parallel jobs.
+base_port=$((20000 + ($$ % 20000)))
+
+echo "== 4-node loopback run (base port $base_port, logs in $smoke_dir) =="
+pids=()
+for i in 0 1 2 3; do
+  "$node_bin" --id "$i" --n 4 --value $((i % 2)) --base-port "$base_port" \
+    --timeout 30 --linger 1 \
+    >"$smoke_dir/node$i.log" 2>"$smoke_dir/node$i.err" &
+  pids+=($!)
+done
+
+fail=0
+for i in 0 1 2 3; do
+  if ! wait "${pids[$i]}"; then
+    echo "FAIL: node $i did not decide (see $smoke_dir/node$i.err)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  # Agreement across OS processes, checked by the unmodified auditor.
+  "$soak_bin" --n 4 --verify-logs \
+    "$smoke_dir"/node0.log "$smoke_dir"/node1.log \
+    "$smoke_dir"/node2.log "$smoke_dir"/node3.log || fail=1
+fi
+
+if [ "$fail" -eq 0 ] && [ "$soak_seconds" -gt 0 ]; then
+  echo "== in-process soak (${soak_seconds}s) =="
+  "$soak_bin" --n 4 --duration "$soak_seconds" --timeout 15 \
+    | tee "$smoke_dir/soak.log" | tail -3 || fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "udp smoke FAILED; logs preserved in $smoke_dir"
+  tail -n +1 "$smoke_dir"/*.log "$smoke_dir"/*.err 2>/dev/null || true
+  exit 1
+fi
+echo "udp smoke ok"
