@@ -6,7 +6,9 @@
 
 #include "adversary/strategies.hpp"
 #include "baselines/abba/abba.hpp"
+#include "baselines/absmac/absmac.hpp"
 #include "baselines/bracha/bracha.hpp"
+#include "baselines/crain/crain.hpp"
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 #include "harness/scheduler.hpp"
@@ -29,6 +31,8 @@ std::string to_string(Protocol p) {
     case Protocol::kTurquois: return "Turquois";
     case Protocol::kBracha: return "Bracha";
     case Protocol::kAbba: return "ABBA";
+    case Protocol::kCrain: return "Crain";
+    case Protocol::kAbsMac: return "AbsMac";
   }
   return "?";
 }
@@ -690,6 +694,215 @@ RunResult run_abba(const ScenarioConfig& cfg, const faultplan::FaultPlan& plan,
   return result;
 }
 
+RunResult run_crain(const ScenarioConfig& cfg,
+                    const faultplan::FaultPlan& plan, Rng root,
+                    std::uint64_t rep_index, const ScenarioSetup* setup) {
+  Deployment d;
+  d.rep_index = rep_index;
+  split_roles(cfg, plan, d);
+  setup_medium(cfg, plan, d, root);
+  setup_auditor(cfg, d);
+
+  const crain::Config ccfg = crain::Config::for_group(cfg.n);
+  // Per-repetition like ABBA's dealer: the combined shares ARE the common
+  // coin, so hoisting would change every coin flip.
+  Rng dealer_rng = root.derive("dealer", 0);
+  const crain::Dealer dealer = crain::Dealer::setup(ccfg, dealer_rng);
+  net::TcpConfig tcp = cfg.tcp;
+  tcp.authenticate = true;  // authenticated channels, no signatures
+
+  // make_sa_keys only consumes a derived stream, so hoisting it is
+  // stream-neutral for the rest of the repetition.
+  std::vector<std::vector<Bytes>> local_keys;
+  if (setup == nullptr || setup->sa_keys.empty()) {
+    local_keys = make_sa_keys(cfg.n, root);
+  }
+  const std::vector<std::vector<Bytes>>& keys =
+      local_keys.empty() ? setup->sa_keys : local_keys;
+
+  std::vector<std::unique_ptr<net::TcpHost>> hosts;
+  std::vector<std::unique_ptr<crain::Process>> procs;
+  d.decided.resize(cfg.n);
+  d.decision.resize(cfg.n);
+  d.sent.resize(cfg.n);
+  d.start_at.resize(cfg.n, 0);
+  d.decide_at.resize(cfg.n);
+
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    d.cpus.push_back(std::make_unique<sim::VirtualCpu>(d.sim));
+    hosts.push_back(std::make_unique<net::TcpHost>(
+        d.sim, *d.medium, id, tcp, d.cpus.back().get(), &cfg.costs));
+    for (ProcessId peer = 0; peer < cfg.n; ++peer) {
+      hosts.back()->set_peer_key(peer, keys[id][peer]);
+    }
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    const auto strategy = (faulty && plan.role == faultplan::Role::kByzantine)
+                              ? crain::Strategy::kValueInversion
+                              : crain::Strategy::kHonest;
+    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
+                         d.correct.end();
+    audit::ConsensusAuditor* auditor = correct ? d.auditor.get() : nullptr;
+    crain::ProcessHooks hooks;
+    hooks.on_decide = [&d, id, auditor](Value v, std::uint32_t round,
+                                        SimTime at) {
+      d.decide_at[id] = at;
+      if (auditor != nullptr) auditor->on_decide(id, v, round, at);
+    };
+    if (auditor != nullptr) {
+      hooks.on_round = [id, auditor](std::uint32_t round, SimTime at) {
+        auditor->on_phase(id, round, at);
+      };
+    }
+    d.runtimes.push_back(
+        std::make_unique<runtime::SimRuntime>(d.sim, *d.cpus.back()));
+    procs.push_back(std::make_unique<crain::Process>(
+        *d.runtimes.back(), *hosts.back(), ccfg, dealer, id,
+        root.derive("proc", id), cfg.costs, strategy, std::move(hooks)));
+    auto* p = procs.back().get();
+    d.decided[id] = [p] { return p->decided(); };
+    d.decision[id] = [p]() -> std::optional<Value> {
+      return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
+    };
+    d.sent[id] = [p] { return p->stats().messages_sent; };
+  }
+
+  if (plan.role == faultplan::Role::kFailStop) {
+    // Crashed-before-start processes never came up: surviving hosts have no
+    // connection to them (no frames wasted on unreachable peers).
+    for (ProcessId alive = 0; alive < cfg.n; ++alive) {
+      for (const ProcessId dead : d.faulty) {
+        hosts[alive]->disconnect_peer(dead);
+      }
+    }
+  }
+
+  Rng start_rng = root.derive("start", 0);
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    if (faulty && plan.role == faultplan::Role::kFailStop) {
+      procs[id]->crash();
+      continue;
+    }
+    const auto offset = static_cast<SimDuration>(start_rng.uniform(
+        static_cast<std::uint64_t>(cfg.start_spread) + 1));
+    d.start_at[id] = offset;
+    if (!faulty && d.auditor != nullptr) {
+      d.auditor->on_propose(id, proposal_for(cfg.distribution, id), offset);
+    }
+    d.sim.schedule_at(offset, [p = procs[id].get(),
+                               v = proposal_for(cfg.distribution, id)] {
+      p->propose(v);
+    });
+  }
+
+  RunResult result = collect(cfg, d);
+  for (const auto& host : hosts) {
+    const auto s = host->stats();
+    result.tcp.messages_sent += s.messages_sent;
+    result.tcp.segments_sent += s.segments_sent;
+    result.tcp.segments_retransmitted += s.segments_retransmitted;
+    result.tcp.rto_fires += s.rto_fires;
+    result.tcp.fast_retransmits += s.fast_retransmits;
+  }
+#if TURQ_TRACE_ENABLED
+  if (trace::Tracer* t = trace::current()) {
+    for (const auto& host : hosts) t->metrics().merge(host->metrics());
+  }
+#endif
+  return result;
+}
+
+RunResult run_absmac(const ScenarioConfig& cfg,
+                     const faultplan::FaultPlan& plan, Rng root,
+                     std::uint64_t rep_index) {
+  Deployment d;
+  d.rep_index = rep_index;
+  split_roles(cfg, plan, d);
+  setup_medium(cfg, plan, d, root);
+  setup_auditor(cfg, d);
+
+  absmac::Config mcfg = absmac::Config::for_group(cfg.n);
+  mcfg.tick_interval = cfg.tick_interval;
+
+  std::vector<std::unique_ptr<net::BroadcastEndpoint>> endpoints;
+  std::vector<std::unique_ptr<absmac::Process>> procs;
+  d.decided.resize(cfg.n);
+  d.decision.resize(cfg.n);
+  d.sent.resize(cfg.n);
+  d.start_at.resize(cfg.n, 0);
+  d.decide_at.resize(cfg.n);
+
+  // Same transport split as Turquois: single-hop endpoints sit on the
+  // medium, multi-hop ones route through the gossip relay — the abstract
+  // MAC above is none the wiser.
+  net::BroadcastService* bus = d.medium.get();
+  if (cfg.spatial.active() && cfg.relay_enabled) {
+    d.relay = std::make_unique<spatial::RelayFabric>(
+        d.sim, *d.medium, cfg.relay, cfg.n, root.derive("relay", 0));
+    bus = d.relay.get();
+  }
+
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    d.cpus.push_back(std::make_unique<sim::VirtualCpu>(d.sim));
+    endpoints.push_back(
+        std::make_unique<net::BroadcastEndpoint>(d.sim, *bus, id));
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    const auto strategy = (faulty && plan.role == faultplan::Role::kByzantine)
+                              ? absmac::Strategy::kValueInversion
+                              : absmac::Strategy::kHonest;
+    const bool correct = std::find(d.correct.begin(), d.correct.end(), id) !=
+                         d.correct.end();
+    audit::ConsensusAuditor* auditor = correct ? d.auditor.get() : nullptr;
+    absmac::ProcessHooks hooks;
+    hooks.on_decide = [&d, id, auditor](Value v, std::uint32_t round,
+                                        SimTime at) {
+      d.decide_at[id] = at;
+      if (auditor != nullptr) auditor->on_decide(id, v, round, at);
+    };
+    if (auditor != nullptr) {
+      hooks.on_round = [id, auditor](std::uint32_t round, SimTime at) {
+        auditor->on_phase(id, round, at);
+      };
+    }
+    d.runtimes.push_back(
+        std::make_unique<runtime::SimRuntime>(d.sim, *d.cpus.back()));
+    procs.push_back(std::make_unique<absmac::Process>(
+        *d.runtimes.back(), *endpoints.back(), mcfg, id,
+        root.derive("proc", id), strategy, std::move(hooks)));
+    auto* p = procs.back().get();
+    d.decided[id] = [p] { return p->decided(); };
+    d.decision[id] = [p]() -> std::optional<Value> {
+      return p->decided() ? std::optional<Value>(p->decision()) : std::nullopt;
+    };
+    d.sent[id] = [p] { return p->stats().messages_sent; };
+  }
+
+  Rng start_rng = root.derive("start", 0);
+  for (ProcessId id = 0; id < cfg.n; ++id) {
+    const bool faulty = std::find(d.faulty.begin(), d.faulty.end(), id) !=
+                        d.faulty.end();
+    if (faulty && plan.role == faultplan::Role::kFailStop) {
+      procs[id]->crash();
+      continue;
+    }
+    const auto offset = static_cast<SimDuration>(start_rng.uniform(
+        static_cast<std::uint64_t>(cfg.start_spread) + 1));
+    d.start_at[id] = offset;
+    if (!faulty && d.auditor != nullptr) {
+      d.auditor->on_propose(id, proposal_for(cfg.distribution, id), offset);
+    }
+    d.sim.schedule_at(offset, [p = procs[id].get(),
+                               v = proposal_for(cfg.distribution, id)] {
+      p->propose(v);
+    });
+  }
+
+  return collect(cfg, d);
+}
+
 }  // namespace
 
 std::optional<std::string> validate(const ScenarioConfig& cfg) {
@@ -760,10 +973,13 @@ std::shared_ptr<const ScenarioSetup> make_scenario_setup(
       break;
     }
     case Protocol::kBracha:
+    case Protocol::kCrain:
       setup->sa_keys = make_sa_keys(cfg.n, root);
       break;
     case Protocol::kAbba:
       break;  // the dealer must stay per-repetition (see run_abba)
+    case Protocol::kAbsMac:
+      break;  // nothing to hoist: no keys, no dealer
   }
   return setup;
 }
@@ -804,6 +1020,12 @@ RunResult run_once(const ScenarioConfig& cfg, std::uint64_t rep_index,
       break;
     case Protocol::kAbba:
       result = run_abba(cfg, plan, rep, rep_index);
+      break;
+    case Protocol::kCrain:
+      result = run_crain(cfg, plan, rep, rep_index, setup);
+      break;
+    case Protocol::kAbsMac:
+      result = run_absmac(cfg, plan, rep, rep_index);
       break;
   }
 
@@ -858,6 +1080,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       continue;
     }
     result.latency_ms.add_all(run.latencies_ms);
+    result.app_messages += run.app_messages;
     result.medium_total.broadcast_frames += run.medium.broadcast_frames;
     result.medium_total.unicast_frames += run.medium.unicast_frames;
     result.medium_total.collisions += run.medium.collisions;

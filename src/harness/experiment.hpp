@@ -35,7 +35,7 @@
 
 namespace turq::harness {
 
-enum class Protocol { kTurquois, kBracha, kAbba };
+enum class Protocol { kTurquois, kBracha, kAbba, kCrain, kAbsMac };
 enum class ProposalDist { kUnanimous, kDivergent };
 
 /// Which outgoing-message strategy Byzantine Turquois processes run. The
@@ -314,6 +314,9 @@ struct ScenarioResult {
   SampleStats latency_ms;
   std::uint32_t failed_runs = 0;     // repetitions missing decisions
   std::uint32_t safety_violations = 0;
+  /// Protocol-level sends by correct processes, summed over completed
+  /// repetitions — the message-complexity numerator of campaign tables.
+  std::uint64_t app_messages = 0;
   net::MediumStats medium_total;     // channel counters summed over reps
   /// Pooled σ accounting; present iff the effective plan tracks σ. Failed
   /// (timed-out) repetitions still contribute — a σ-violating stall is the

@@ -144,13 +144,20 @@ void UdpRuntime::run(const std::function<bool()>& done, SimDuration max_wait) {
 }
 
 void UdpRuntime::drain_socket(UdpPort& port) {
+  // Drain until EAGAIN: epoll readiness is level-triggered per poll, but a
+  // broadcast burst queues many datagrams behind one readiness event —
+  // stopping early would delay the rest by a full poll cycle and starve
+  // timers. EINTR in particular must not abandon the drain: a signal
+  // between datagrams would strand everything still queued.
   std::uint8_t buf[65536];
+  bool read_any = false;
   while (port.fd_ >= 0) {
     const ssize_t got = recvfrom(port.fd_, buf, sizeof(buf), 0, nullptr, nullptr);
     if (got < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient socket error: drop and carry on
+      if (errno == EINTR) continue;  // interrupted mid-drain: keep reading
+      break;  // EAGAIN/EWOULDBLOCK (drained) or hard error: drop and carry on
     }
+    read_any = true;
     if (got < static_cast<ssize_t>(kHeaderSize)) continue;
     if (buf[0] != kMagic0 || buf[1] != kMagic1 || buf[2] != kVersion) continue;
     const ProcessId src = buf[3];
@@ -160,6 +167,7 @@ void UdpRuntime::drain_socket(UdpPort& port) {
                                    static_cast<std::size_t>(got) - kHeaderSize});
     }
   }
+  if (read_any) ++wakeups_;
 }
 
 UdpRuntime::UdpPort& UdpRuntime::open_port(ProcessId self,

@@ -115,6 +115,11 @@ class UdpRuntime final : public Runtime {
 
   [[nodiscard]] std::size_t timers_pending() const { return callbacks_.size(); }
   [[nodiscard]] std::uint64_t datagrams_received() const { return received_; }
+  /// Drain invocations that read at least one datagram. A multi-datagram
+  /// burst landing between polls counts once: received_ grows by the burst
+  /// size while this grows by one (the drain-until-EAGAIN regression
+  /// contract, tests/runtime_test.cpp).
+  [[nodiscard]] std::uint64_t socket_wakeups() const { return wakeups_; }
 
  private:
   struct TimerEntry {
@@ -148,6 +153,7 @@ class UdpRuntime final : public Runtime {
   std::vector<std::unique_ptr<UdpPort>> ports_;
   std::vector<UdpEndpoint> peers_;
   std::uint64_t received_ = 0;
+  std::uint64_t wakeups_ = 0;
 };
 
 }  // namespace turq::runtime

@@ -25,6 +25,12 @@ namespace turq::service {
 using harness::RunResult;
 using harness::ScenarioConfig;
 
+double commit_latency_ms(SimTime arrival, SimTime commit) {
+  TURQ_ASSERT_MSG(commit >= arrival,
+                  "commit cannot precede the request's arrival");
+  return to_milliseconds(std::max<SimDuration>(commit - arrival, 1));
+}
+
 const char* to_string(Arrival a) {
   switch (a) {
     case Arrival::kPoisson: return "poisson";
@@ -261,7 +267,7 @@ RunResult run_service_rep(const ScenarioConfig& cfg, std::uint64_t rep_index) {
           // each request's end-to-end latency.
           raw->committed = true;
           for (const SimTime arrival : raw->request_arrivals) {
-            result.latencies_ms.push_back(to_milliseconds(at - arrival));
+            result.latencies_ms.push_back(commit_latency_ms(arrival, at));
           }
           sum.committed += raw->request_arrivals.size();
         }
@@ -379,6 +385,11 @@ RunResult run_service_rep(const ScenarioConfig& cfg, std::uint64_t rep_index) {
   }
   sum.finished_at = sim.now();
   sum.instances_failed = active.size();
+  // One latency sample per committed request, none for rejected or still
+  // in-flight ones: rejection happens before the queue, so a rejected
+  // arrival can never reach an instance batch and be stamped.
+  TURQ_ASSERT_MSG(result.latencies_ms.size() == sum.committed,
+                  "latency samples must match committed requests 1:1");
 
   for (const auto& mux : muxes) {
     const net::FrameMux::Stats& ms = mux->stats();

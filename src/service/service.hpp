@@ -57,6 +57,14 @@ struct ServiceScenarioResult {
   [[nodiscard]] double instances_per_sim_sec() const;
 };
 
+/// Arrival->commit latency in ms under half-open interval semantics: the
+/// request occupies [arrival, commit), and a commit landing in the same
+/// simulator instant as the arrival still charges one simulator quantum
+/// (1 ns) instead of a literal zero. Zero samples would poison the min/p50
+/// columns and make per-request rate math divide by zero; `commit` must
+/// not precede `arrival` (asserted).
+[[nodiscard]] double commit_latency_ms(SimTime arrival, SimTime commit);
+
 /// Service-specific validation on top of harness::validate (which
 /// run_service also applies). std::nullopt = runnable.
 [[nodiscard]] std::optional<std::string> validate_service(

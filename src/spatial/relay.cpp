@@ -65,15 +65,41 @@ void RelayFabric::detach(ProcessId id) {
   medium_.detach(id);
 }
 
+bool SeqWindow::mark(std::uint32_t seq) {
+  // Serial-number arithmetic: the wrap at 2^32 keeps "ahead"/"behind"
+  // meaningful as long as in-flight seqs span less than 2^31.
+  const auto delta = static_cast<std::int32_t>(seq - base_);
+  if (delta < 0) return false;  // behind the window: treat as already seen
+  const auto cap = static_cast<std::uint32_t>(bits_.size());
+  if (static_cast<std::uint32_t>(delta) >= cap) {
+    // Slide so `seq` becomes the newest tracked entry, evicting whatever
+    // falls off the back.
+    const std::uint32_t new_base = seq - (cap - 1);
+    const std::uint32_t advance = new_base - base_;
+    if (advance >= cap) {
+      std::fill(bits_.begin(), bits_.end(), false);
+    } else {
+      for (std::uint32_t i = 0; i < advance; ++i) {
+        bits_[(base_ + i) % cap] = false;
+      }
+    }
+    base_ = new_base;
+  }
+  if (bits_[seq % cap]) return false;
+  bits_[seq % cap] = true;
+  return true;
+}
+
+bool SeqWindow::seen(std::uint32_t seq) const {
+  const auto delta = static_cast<std::int32_t>(seq - base_);
+  if (delta < 0) return true;  // evicted or pre-window: conservatively seen
+  if (static_cast<std::uint32_t>(delta) >= bits_.size()) return false;
+  return bits_[seq % bits_.size()];
+}
+
 bool RelayFabric::mark_seen(Node& node, ProcessId origin, std::uint32_t seq) {
   if (node.seen.size() <= origin) node.seen.resize(origin + 1);
-  std::vector<bool>& seen = node.seen[origin];
-  if (seen.size() <= seq) {
-    seen.resize(std::max<std::size_t>(seq + 1, seen.size() * 2));
-  }
-  if (seen[seq]) return false;
-  seen[seq] = true;
-  return true;
+  return node.seen[origin].mark(seq);
 }
 
 void RelayFabric::broadcast(ProcessId src, FramePayload payload,

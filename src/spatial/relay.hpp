@@ -45,6 +45,36 @@ struct RelayConfig {
   std::uint32_t max_hops = 8;
 };
 
+/// Bounded duplicate-suppression window over 32-bit wrapping sequence
+/// numbers. Tracks the most recent `capacity` seqs per origin with a ring
+/// of bits and a sliding lower bound: marking a seq ahead of the window
+/// slides the base forward (evicting the oldest entries), and anything
+/// behind the base is conservatively reported as already seen. Ordering
+/// uses serial-number arithmetic, so the u32 seq wrapping past 2^32 keeps
+/// comparing correctly instead of aliasing entry 0 (the unbounded dense
+/// bitmap this replaces leaked linearly in soak runs and aliased on wrap).
+class SeqWindow {
+ public:
+  static constexpr std::uint32_t kDefaultCapacity = 4096;
+
+  explicit SeqWindow(std::uint32_t capacity = kDefaultCapacity)
+      : bits_(capacity, false) {}
+
+  /// Marks `seq` as seen; returns true when it was new.
+  bool mark(std::uint32_t seq);
+
+  /// Whether `seq` is marked (seqs behind the window count as seen).
+  [[nodiscard]] bool seen(std::uint32_t seq) const;
+
+  /// Lowest sequence number still tracked.
+  [[nodiscard]] std::uint32_t base() const { return base_; }
+  [[nodiscard]] std::size_t capacity() const { return bits_.size(); }
+
+ private:
+  std::uint32_t base_ = 0;
+  std::vector<bool> bits_;  // slot for seq: seq % capacity
+};
+
 class RelayFabric final : public net::BroadcastService {
  public:
   static constexpr std::size_t kHeaderBytes = 6;
@@ -80,8 +110,8 @@ class RelayFabric final : public net::BroadcastService {
   struct Node {
     ReceiveHandler app;
     Rng rng;  // assessment-delay stream
-    // seen[origin] is a dense seq bitmap (seqs count up from 0 per origin).
-    std::vector<std::vector<bool>> seen;
+    // seen[origin] tracks recent seqs in a bounded sliding window.
+    std::vector<SeqWindow> seen;
     std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending;
     bool attached = false;
   };

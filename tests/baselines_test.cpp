@@ -1,5 +1,5 @@
-// Integration tests for the Bracha and ABBA baselines over the simulated
-// medium with TCP-like transports.
+// Integration tests for the Bracha, ABBA, Crain, and abstract-MAC baselines
+// over the simulated medium with TCP-like or broadcast transports.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -7,12 +7,16 @@
 #include <vector>
 
 #include "baselines/abba/abba.hpp"
+#include "baselines/absmac/absmac.hpp"
 #include "baselines/bracha/bracha.hpp"
+#include "baselines/crain/crain.hpp"
 #include "common/rng.hpp"
 #include "crypto/cost_model.hpp"
+#include "net/broadcast_endpoint.hpp"
 #include "net/fault_injector.hpp"
 #include "net/medium.hpp"
 #include "net/reliable_channel.hpp"
+#include "runtime/sim_runtime.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 
@@ -271,6 +275,238 @@ TEST(Abba, CoinSharesCombineOnAbstainPath) {
   EXPECT_GT(coin_flips, 0u);
 }
 
+// ------------------------------------------------------------------- Crain
+
+struct CrainRig {
+  sim::Simulator sim;
+  net::Medium medium;
+  crypto::CostModel costs;
+  crain::Config cfg;
+  crain::Dealer dealer;
+  std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
+  std::vector<std::unique_ptr<runtime::SimRuntime>> runtimes;
+  std::vector<std::unique_ptr<net::TcpHost>> hosts;
+  std::vector<std::unique_ptr<crain::Process>> procs;
+
+  static crain::Dealer make_dealer(const crain::Config& c, std::uint64_t seed) {
+    Rng rng(seed);
+    return crain::Dealer::setup(c, rng);
+  }
+
+  explicit CrainRig(std::uint32_t n, std::uint64_t seed = 1,
+                    std::vector<crain::Strategy> strategies = {})
+      : medium(sim, net::MediumConfig{}, Rng(seed)),
+        cfg(crain::Config::for_group(n)),
+        dealer(make_dealer(cfg, seed)) {
+    net::TcpConfig tcp;
+    tcp.authenticate = true;  // authenticated channels, no signatures
+    Rng root(seed);
+    for (ProcessId id = 0; id < n; ++id) {
+      cpus.push_back(std::make_unique<sim::VirtualCpu>(sim));
+      runtimes.push_back(
+          std::make_unique<runtime::SimRuntime>(sim, *cpus.back()));
+      hosts.push_back(std::make_unique<net::TcpHost>(
+          sim, medium, id, tcp, cpus.back().get(), &costs));
+      const auto strategy =
+          id < strategies.size() ? strategies[id] : crain::Strategy::kHonest;
+      procs.push_back(std::make_unique<crain::Process>(
+          *runtimes.back(), *hosts.back(), cfg, dealer, id,
+          root.derive("p", id), costs, strategy));
+    }
+    for (auto& h : hosts) {
+      for (ProcessId peer = 0; peer < n; ++peer) {
+        h->set_peer_key(peer, Bytes(32, 0x55));
+      }
+    }
+  }
+
+  bool run_until_decided(const std::vector<ProcessId>& who,
+                         SimDuration timeout = 120 * kSecond) {
+    while (sim.now() < timeout) {
+      bool all = true;
+      for (const ProcessId id : who) all = all && procs[id]->decided();
+      if (all) return true;
+      sim.run_until(sim.now() + 5 * kMillisecond);
+    }
+    return false;
+  }
+};
+
+TEST(Crain, UnanimousDecidesProposedValue) {
+  CrainRig rig(4, 2);
+  for (auto& p : rig.procs) p->propose(Value::kOne);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all));
+  for (const ProcessId id : all) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kOne);
+    // Unanimity pins bin_values to {1}: the decision needed a coin round
+    // that landed on 1, and every round combined exactly one coin.
+    EXPECT_GT(rig.procs[id]->stats().combines, 0u);
+  }
+}
+
+TEST(Crain, DivergentTerminatesWithAgreement) {
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    CrainRig rig(7, seed);
+    std::vector<Value> proposals;
+    for (ProcessId id = 0; id < 7; ++id) {
+      proposals.push_back(id % 2 ? Value::kOne : Value::kZero);
+      rig.procs[id]->propose(proposals.back());
+    }
+    std::vector<ProcessId> all = {0, 1, 2, 3, 4, 5, 6};
+    ASSERT_TRUE(rig.run_until_decided(all)) << "seed " << seed;
+    check_agreement_validity(rig.procs, all, proposals);
+  }
+}
+
+TEST(Crain, ToleratesCrashedProcesses) {
+  CrainRig rig(7, 6);
+  const std::vector<ProcessId> alive = {0, 1, 2, 3, 4};
+  for (ProcessId dead = 5; dead < 7; ++dead) {
+    rig.procs[dead]->crash();
+    for (const ProcessId a : alive) rig.hosts[a]->disconnect_peer(dead);
+  }
+  for (const ProcessId id : alive) rig.procs[id]->propose(Value::kZero);
+  ASSERT_TRUE(rig.run_until_decided(alive));
+  for (const ProcessId id : alive) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kZero);
+  }
+}
+
+TEST(Crain, ValueInversionCannotBreakValidity) {
+  // All correct processes propose 1; f attackers push 0. The f EST(0)
+  // senders stay below the f+1 BV-broadcast echo bar, so 0 never enters
+  // bin_values and the decision is pinned to 1.
+  for (const std::uint64_t seed : {5u, 6u, 7u}) {
+    CrainRig rig(7, seed,
+                 {crain::Strategy::kHonest, crain::Strategy::kHonest,
+                  crain::Strategy::kHonest, crain::Strategy::kHonest,
+                  crain::Strategy::kHonest, crain::Strategy::kValueInversion,
+                  crain::Strategy::kValueInversion});
+    for (auto& p : rig.procs) p->propose(Value::kOne);
+    const std::vector<ProcessId> correct = {0, 1, 2, 3, 4};
+    ASSERT_TRUE(rig.run_until_decided(correct)) << "seed " << seed;
+    for (const ProcessId id : correct) {
+      EXPECT_EQ(rig.procs[id]->decision(), Value::kOne) << "seed " << seed;
+    }
+  }
+}
+
+// ------------------------------------------------------------ abstract MAC
+
+struct AbsMacRig {
+  sim::Simulator sim;
+  net::Medium medium;
+  absmac::Config cfg;
+  std::vector<std::unique_ptr<sim::VirtualCpu>> cpus;
+  std::vector<std::unique_ptr<runtime::SimRuntime>> runtimes;
+  std::vector<std::unique_ptr<net::BroadcastEndpoint>> endpoints;
+  std::vector<std::unique_ptr<absmac::Process>> procs;
+
+  explicit AbsMacRig(std::uint32_t n, std::uint64_t seed = 1,
+                     std::vector<absmac::Strategy> strategies = {})
+      : medium(sim, net::MediumConfig{}, Rng(seed)),
+        cfg(absmac::Config::for_group(n)) {
+    Rng root(seed);
+    for (ProcessId id = 0; id < n; ++id) {
+      cpus.push_back(std::make_unique<sim::VirtualCpu>(sim));
+      runtimes.push_back(
+          std::make_unique<runtime::SimRuntime>(sim, *cpus.back()));
+      endpoints.push_back(
+          std::make_unique<net::BroadcastEndpoint>(sim, medium, id));
+      const auto strategy =
+          id < strategies.size() ? strategies[id] : absmac::Strategy::kHonest;
+      procs.push_back(std::make_unique<absmac::Process>(
+          *runtimes.back(), *endpoints.back(), cfg, id, root.derive("p", id),
+          strategy));
+    }
+  }
+
+  bool run_until_decided(const std::vector<ProcessId>& who,
+                         SimDuration timeout = 120 * kSecond) {
+    while (sim.now() < timeout) {
+      bool all = true;
+      for (const ProcessId id : who) all = all && procs[id]->decided();
+      if (all) return true;
+      sim.run_until(sim.now() + 5 * kMillisecond);
+    }
+    return false;
+  }
+};
+
+TEST(AbsMac, UnanimousDecidesProposedValue) {
+  AbsMacRig rig(4, 2);
+  for (auto& p : rig.procs) p->propose(Value::kZero);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all));
+  for (const ProcessId id : all) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kZero);
+  }
+}
+
+TEST(AbsMac, DivergentTerminatesWithAgreement) {
+  for (const std::uint64_t seed : {3u, 4u, 5u}) {
+    AbsMacRig rig(7, seed);
+    std::vector<Value> proposals;
+    for (ProcessId id = 0; id < 7; ++id) {
+      proposals.push_back(id % 2 ? Value::kOne : Value::kZero);
+      rig.procs[id]->propose(proposals.back());
+    }
+    std::vector<ProcessId> all = {0, 1, 2, 3, 4, 5, 6};
+    ASSERT_TRUE(rig.run_until_decided(all)) << "seed " << seed;
+    check_agreement_validity(rig.procs, all, proposals);
+  }
+}
+
+TEST(AbsMac, ToleratesCrashedProcesses) {
+  AbsMacRig rig(7, 4);
+  const std::vector<ProcessId> alive = {0, 1, 2, 3, 4};
+  for (ProcessId dead = 5; dead < 7; ++dead) rig.procs[dead]->crash();
+  for (const ProcessId id : alive) rig.procs[id]->propose(Value::kOne);
+  ASSERT_TRUE(rig.run_until_decided(alive));
+  for (const ProcessId id : alive) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kOne);
+  }
+}
+
+TEST(AbsMac, ValueInversionCannotBreakValidity) {
+  for (const std::uint64_t seed : {5u, 6u, 7u}) {
+    AbsMacRig rig(7, seed,
+                  {absmac::Strategy::kHonest, absmac::Strategy::kHonest,
+                   absmac::Strategy::kHonest, absmac::Strategy::kHonest,
+                   absmac::Strategy::kHonest, absmac::Strategy::kValueInversion,
+                   absmac::Strategy::kValueInversion});
+    for (auto& p : rig.procs) p->propose(Value::kOne);
+    const std::vector<ProcessId> correct = {0, 1, 2, 3, 4};
+    ASSERT_TRUE(rig.run_until_decided(correct)) << "seed " << seed;
+    for (const ProcessId id : correct) {
+      EXPECT_EQ(rig.procs[id]->decision(), Value::kOne) << "seed " << seed;
+    }
+  }
+}
+
+TEST(AbsMac, TicksRetransmitUntilTheAckComesBack) {
+  // The MAC layer's liveness lever: a frame keeps re-airing on the tick
+  // timer until the sender hears its own broadcast (the modeled ack).
+  // Under 20% iid loss some retransmits are certain, and the run still
+  // decides.
+  AbsMacRig rig(4, 8);
+  net::IidLoss loss(0.2, Rng(99));
+  rig.medium.set_fault_injector(&loss);
+  for (auto& p : rig.procs) p->propose(Value::kOne);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all, 300 * kSecond));
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks = 0;
+  for (const ProcessId id : all) {
+    EXPECT_EQ(rig.procs[id]->decision(), Value::kOne);
+    retransmits += rig.procs[id]->stats().retransmits;
+    acks += rig.procs[id]->stats().acks_observed;
+  }
+  EXPECT_GT(retransmits, 0u);
+  EXPECT_GT(acks, 0u);
+}
+
 class BaselineSeeds : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BaselineSeeds, BrachaDivergentSafetySweep) {
@@ -285,6 +521,26 @@ TEST_P(BaselineSeeds, BrachaDivergentSafetySweep) {
 
 TEST_P(BaselineSeeds, AbbaDivergentSafetySweep) {
   AbbaRig rig(4, GetParam());
+  std::vector<Value> proposals = {Value::kZero, Value::kOne, Value::kZero,
+                                  Value::kOne};
+  for (ProcessId id = 0; id < 4; ++id) rig.procs[id]->propose(proposals[id]);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all, 300 * kSecond));
+  check_agreement_validity(rig.procs, all, proposals);
+}
+
+TEST_P(BaselineSeeds, CrainDivergentSafetySweep) {
+  CrainRig rig(4, GetParam());
+  std::vector<Value> proposals = {Value::kZero, Value::kOne, Value::kZero,
+                                  Value::kOne};
+  for (ProcessId id = 0; id < 4; ++id) rig.procs[id]->propose(proposals[id]);
+  std::vector<ProcessId> all = {0, 1, 2, 3};
+  ASSERT_TRUE(rig.run_until_decided(all, 300 * kSecond));
+  check_agreement_validity(rig.procs, all, proposals);
+}
+
+TEST_P(BaselineSeeds, AbsMacDivergentSafetySweep) {
+  AbsMacRig rig(4, GetParam());
   std::vector<Value> proposals = {Value::kZero, Value::kOne, Value::kZero,
                                   Value::kOne};
   for (ProcessId id = 0; id < 4; ++id) rig.procs[id]->propose(proposals[id]);

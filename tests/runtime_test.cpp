@@ -168,6 +168,49 @@ TEST(UdpRuntime, LoopbackBroadcastReachesEveryPortIncludingSender) {
   for (const auto& [receiver, sender] : got) EXPECT_EQ(sender, 1u);
 }
 
+// Regression: a multi-datagram burst queued behind one epoll readiness
+// event must be drained in a single wakeup. A drain that reads one datagram
+// per readiness would delay queued frames by a full poll cycle each (and
+// starve timers under sustained bursts): with the whole burst already
+// sitting in the socket buffers before run() starts, such a drain would
+// report one wakeup per datagram instead of one per socket.
+TEST(UdpRuntime, BroadcastBurstDrainsInOneWakeupPerSocket) {
+  constexpr std::uint32_t kBurst = 8;
+  runtime::UdpRuntime rt(11);
+  std::vector<runtime::UdpRuntime::UdpPort*> ports;
+  std::vector<runtime::UdpEndpoint> peers;
+  for (ProcessId id = 0; id < 2; ++id) {
+    auto& port = rt.open_port(id, 0);
+    ports.push_back(&port);
+    peers.push_back(runtime::UdpEndpoint{.host = "127.0.0.1",
+                                         .port = port.local_port()});
+  }
+  rt.set_peers(std::move(peers));
+
+  std::vector<std::uint64_t> got(2, 0);
+  for (ProcessId id = 0; id < 2; ++id) {
+    ports[id]->set_handler([&, id](ProcessId src, BytesView payload) {
+      ASSERT_EQ(src, 0u);
+      ASSERT_EQ(payload.size(), 1u);
+      ++got[id];
+    });
+  }
+  // The burst lands in the kernel socket buffers before the loop ever
+  // polls: sends are synchronous sendto() calls.
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    ports[0]->send(Bytes{static_cast<std::uint8_t>(i)});
+  }
+  ASSERT_EQ(rt.socket_wakeups(), 0u);
+
+  rt.run([&] { return got[0] >= kBurst && got[1] >= kBurst; }, 5 * kSecond);
+
+  ASSERT_EQ(got[0], kBurst);  // loopback delivery included
+  ASSERT_EQ(got[1], kBurst);
+  EXPECT_EQ(rt.datagrams_received(), 2 * kBurst);
+  // One drain per socket read the whole burst.
+  EXPECT_EQ(rt.socket_wakeups(), 2u);
+}
+
 // ---------------------------------------------- cross-runtime equivalence --
 
 /// One consensus instance, n=4, unanimous kOne proposals, over real UDP

@@ -212,6 +212,26 @@ harness::ScenarioConfig small_service_config() {
   return cfg;
 }
 
+TEST(Service, CommitLatencyIsStrictlyPositiveEvenForSameTickCommits) {
+  // Half-open tick semantics: a request admitted and committed in the same
+  // simulator instant is charged one quantum, never a literal zero — the
+  // pre-fix stamping (commit - arrival) produced 0.0 here.
+  EXPECT_GT(service::commit_latency_ms(5 * kMillisecond, 5 * kMillisecond),
+            0.0);
+  EXPECT_DOUBLE_EQ(
+      service::commit_latency_ms(2 * kMillisecond, 5 * kMillisecond), 3.0);
+  // Half-open charging only kicks in at the degenerate boundary; any real
+  // gap is reported exactly.
+  EXPECT_DOUBLE_EQ(service::commit_latency_ms(0, 1), 1e-6);
+}
+
+TEST(Service, MinimumObservedLatencyIsPositive) {
+  const harness::ScenarioConfig cfg = small_service_config();
+  const service::ServiceScenarioResult r = service::run_service(cfg);
+  ASSERT_GT(r.latency_ms.count(), 0u);
+  EXPECT_GT(r.latency_ms.percentile(0.0), 0.0);  // min sample
+}
+
 TEST(Service, CommitsEveryRequestAndAuditsEveryInstance) {
   const harness::ScenarioConfig cfg = small_service_config();
   const service::ServiceScenarioResult r = service::run_service(cfg);

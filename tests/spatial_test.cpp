@@ -183,6 +183,56 @@ TEST(SpatialMedium, SensingSendersStillDeferToEachOther) {
 
 // ---------------------------------------------------------------- relay ---
 
+TEST(SeqWindow, MarksNewSeqsOnceAndDetectsDuplicates) {
+  SeqWindow w(8);
+  EXPECT_TRUE(w.mark(0));
+  EXPECT_TRUE(w.mark(3));
+  EXPECT_TRUE(w.mark(1));
+  EXPECT_FALSE(w.mark(0));  // duplicate
+  EXPECT_FALSE(w.mark(3));
+  EXPECT_TRUE(w.seen(1));
+  EXPECT_FALSE(w.seen(2));  // in-window, never marked
+}
+
+TEST(SeqWindow, MemoryStaysBoundedAndEvictedSeqsReadAsSeen) {
+  // The dense bitmap this replaced grew with the highest seq ever marked;
+  // the window must stay at its fixed capacity and slide instead.
+  SeqWindow w(8);
+  for (std::uint32_t seq = 0; seq < 1000; ++seq) {
+    EXPECT_TRUE(w.mark(seq)) << seq;
+  }
+  EXPECT_EQ(w.capacity(), 8u);
+  EXPECT_EQ(w.base(), 1000u - 8u);
+  // Everything evicted off the back is conservatively a duplicate: a stale
+  // forward of an old frame must never be re-delivered or re-flooded.
+  EXPECT_FALSE(w.mark(0));
+  EXPECT_FALSE(w.mark(500));
+  EXPECT_TRUE(w.seen(0));
+  // In-window seqs skipped by a jump are still fresh.
+  SeqWindow jumpy(8);
+  EXPECT_TRUE(jumpy.mark(0));
+  EXPECT_TRUE(jumpy.mark(100));  // jump: base slides to 93, ring cleared
+  EXPECT_TRUE(jumpy.mark(95));   // landed inside the new window: new
+  EXPECT_FALSE(jumpy.mark(95));
+  EXPECT_FALSE(jumpy.mark(0));   // behind the new window
+}
+
+TEST(SeqWindow, SerialArithmeticSurvivesUint32Wrap) {
+  // Walk the base across the 2^32 boundary in big strides (serial-number
+  // comparison only needs each stride < 2^31). The old dense bitmap
+  // aliased seq k and seq k + 2^32 onto one slot; the window must keep
+  // pre-wrap and post-wrap seqs distinct.
+  SeqWindow w(8);
+  EXPECT_TRUE(w.mark(0x7FFFFFF0u));
+  EXPECT_TRUE(w.mark(0xF0000000u));
+  EXPECT_TRUE(w.mark(0x10u));  // wrapped past 2^32: still "ahead"
+  EXPECT_EQ(w.base(), 0x10u - 7u);
+  EXPECT_FALSE(w.mark(0x10u));         // post-wrap duplicate is caught
+  EXPECT_TRUE(w.mark(0xCu));           // in-window, unmarked: fresh
+  EXPECT_FALSE(w.mark(0xF0000000u));   // pre-wrap seq stays "behind", no alias
+  EXPECT_TRUE(w.seen(0xF0000000u));
+}
+
 TEST(Relay, FloodsAcrossTwoHops) {
   // A --120m-- B --120m-- C with radius 150 m: A cannot reach C directly;
   // the relay's rebroadcast at B must carry A's frame across.

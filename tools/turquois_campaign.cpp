@@ -44,7 +44,8 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --protocols turquois,abba,bracha    comma-separated protocol list\n"
+      "  --protocols turquois,abba,bracha,crain,absmac\n"
+      "                                      comma-separated protocol list\n"
       "                                      (default turquois)\n"
       "  --sizes 4,7,...                     comma-separated group sizes\n"
       "                                      (default 4,7)\n"
@@ -80,6 +81,17 @@ namespace {
       "                                      any N\n"
       "  --out <dir>                         directory for the per-cell\n"
       "                                      BENCH_*.json files (default .)\n"
+      "  --summary-json <path>               also write one aggregate\n"
+      "                                      turquois-bench/1 report for the\n"
+      "                                      whole grid: per-cell decision\n"
+      "                                      latency and message complexity,\n"
+      "                                      plus pooled decisions per\n"
+      "                                      simulated second as\n"
+      "                                      events_per_sec (deterministic —\n"
+      "                                      no wall-clock fields — so the\n"
+      "                                      file is byte-identical at any\n"
+      "                                      --jobs and gateable by\n"
+      "                                      tools/check_perf.sh)\n"
       "  --quick                             smoke preset: 2 reps, 30 s\n"
       "                                      deadline (overrides --reps and\n"
       "                                      --timeout)\n"
@@ -125,10 +137,15 @@ std::string slug(const std::string& label) {
 
 struct CellOutcome {
   std::string label;        // "<protocol> n=<N> <plan> [<topology>]"
+  std::string protocol;     // grid coordinates, for the summary report
+  std::string plan;
+  std::uint32_t n = 0;
   bool failed = false;      // config rejected or harness crashed
   std::string error;
   std::string json_path;
   double mean_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t messages = 0;  // protocol messages pooled over repetitions
   std::size_t samples = 0;
   std::uint32_t failed_runs = 0;
   std::uint32_t safety_violations = 0;
@@ -181,6 +198,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::uint32_t jobs = 1;
   std::string out_dir = ".";
+  std::string summary_path;
   bool quick = false;
   bool audit = true;
 
@@ -196,6 +214,8 @@ int main(int argc, char** argv) {
         if (p == "turquois") protocols.push_back(Protocol::kTurquois);
         else if (p == "abba") protocols.push_back(Protocol::kAbba);
         else if (p == "bracha") protocols.push_back(Protocol::kBracha);
+        else if (p == "crain") protocols.push_back(Protocol::kCrain);
+        else if (p == "absmac") protocols.push_back(Protocol::kAbsMac);
         else usage(argv[0]);
       }
     } else if (arg == "--sizes") {
@@ -239,6 +259,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--summary-json") {
+      summary_path = next();
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--no-audit") {
@@ -315,6 +337,9 @@ int main(int argc, char** argv) {
       for (const std::uint32_t n : sizes) {
         for (const SpatialAxis& axis : spatial_axes) {
         CellOutcome cell;
+        cell.protocol = to_string(protocol);
+        cell.plan = plan.name;
+        cell.n = n;
         cell.label = to_string(protocol) + " n=" + std::to_string(n) + " " +
                      plan.name + axis.label;
         std::printf("[cell] %s ...\n", cell.label.c_str());
@@ -353,6 +378,9 @@ int main(int argc, char** argv) {
             cell.error = "cannot write " + cell.json_path;
           }
           cell.mean_ms = r.latency_ms.empty() ? 0.0 : r.mean();
+          cell.p99_ms =
+              r.latency_ms.empty() ? 0.0 : r.latency_ms.percentile(0.99);
+          cell.messages = r.app_messages;
           cell.samples = r.latency_ms.count();
           cell.failed_runs = r.failed_runs;
           cell.safety_violations = r.safety_violations;
@@ -423,5 +451,78 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%zu cells, reports in %s/\n", outcomes.size(),
               out_dir.c_str());
+
+  if (!summary_path.empty()) {
+    // One aggregate report for the whole grid. Every field is a pure
+    // function of (seed, grid coordinates) — no wall-clock anywhere — so
+    // the file is byte-identical at any --jobs value. events_per_sec is
+    // pooled decisions per *simulated* second (total decisions over total
+    // decision-latency), the machine-independent throughput figure
+    // tools/check_perf.sh gates.
+    std::uint64_t decisions = 0;
+    std::uint64_t messages = 0;
+    std::uint32_t failed_cells = 0;
+    std::uint32_t failed_runs = 0;
+    std::uint32_t violations = 0;
+    double latency_ms_sum = 0.0;
+    for (const CellOutcome& cell : outcomes) {
+      if (cell.failed) {
+        ++failed_cells;
+        continue;
+      }
+      decisions += cell.samples;
+      messages += cell.messages;
+      failed_runs += cell.failed_runs;
+      violations += cell.safety_violations;
+      latency_ms_sum += cell.mean_ms * static_cast<double>(cell.samples);
+    }
+    const double events_per_sec =
+        latency_ms_sum > 0.0
+            ? 1000.0 * static_cast<double>(decisions) / latency_ms_sum
+            : 0.0;
+    FILE* out = std::fopen(summary_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", summary_path.c_str());
+      return 2;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"schema\": \"turquois-bench/1\",\n");
+    std::fprintf(out, "  \"name\": \"campaign_summary\",\n");
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(out, "  \"cells\": %zu,\n", outcomes.size());
+    std::fprintf(out, "  \"failed_cells\": %u,\n", failed_cells);
+    std::fprintf(out, "  \"failed_runs\": %u,\n", failed_runs);
+    std::fprintf(out, "  \"safety_violations\": %u,\n", violations);
+    std::fprintf(out, "  \"decisions\": %llu,\n",
+                 static_cast<unsigned long long>(decisions));
+    std::fprintf(out, "  \"messages\": %llu,\n",
+                 static_cast<unsigned long long>(messages));
+    std::fprintf(out, "  \"events_per_sec\": %.4f,\n", events_per_sec);
+    std::fprintf(out, "  \"grid\": [\n");
+    bool first = true;
+    for (const CellOutcome& cell : outcomes) {
+      if (cell.failed) continue;
+      const double msgs_per_decision =
+          cell.samples > 0
+              ? static_cast<double>(cell.messages) /
+                    static_cast<double>(cell.samples)
+              : 0.0;
+      std::fprintf(
+          out,
+          "%s    {\"protocol\": \"%s\", \"plan\": \"%s\", \"n\": %u, "
+          "\"decisions\": %zu, \"mean_ms\": %.4f, \"p99_ms\": %.4f, "
+          "\"messages\": %llu, \"msgs_per_decision\": %.4f, "
+          "\"failed_runs\": %u}",
+          first ? "" : ",\n", cell.protocol.c_str(), cell.plan.c_str(), cell.n,
+          cell.samples, cell.mean_ms, cell.p99_ms,
+          static_cast<unsigned long long>(cell.messages), msgs_per_decision,
+          cell.failed_runs);
+      first = false;
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    std::printf("summary: wrote %s\n", summary_path.c_str());
+  }
   return any_failed ? 1 : 0;
 }

@@ -54,7 +54,8 @@ namespace {
       "                          scenario, so reproducers are plain\n"
       "                          turquois_sim invocations\n"
       "  --seed-base <S>         scenario root seed (default 1)\n"
-      "  --protocols <list>      comma-separated: turquois,abba,bracha\n"
+      "  --protocols <list>      comma-separated: turquois,abba,bracha,\n"
+      "                          crain,absmac\n"
       "                          (default turquois)\n"
       "  --plans <list>          comma-separated named plans or clause specs\n"
       "                          (default none,byzantine,adaptive)\n"
@@ -133,6 +134,8 @@ const char* protocol_flag(Protocol p) {
     case Protocol::kTurquois: return "turquois";
     case Protocol::kBracha: return "bracha";
     case Protocol::kAbba: return "abba";
+    case Protocol::kCrain: return "crain";
+    case Protocol::kAbsMac: return "absmac";
   }
   return "?";
 }
@@ -344,6 +347,8 @@ int main(int argc, char** argv) {
         if (p == "turquois") protocols.push_back(Protocol::kTurquois);
         else if (p == "abba") protocols.push_back(Protocol::kAbba);
         else if (p == "bracha") protocols.push_back(Protocol::kBracha);
+        else if (p == "crain") protocols.push_back(Protocol::kCrain);
+        else if (p == "absmac") protocols.push_back(Protocol::kAbsMac);
         else usage(argv[0]);
       }
     } else if (arg == "--plans") {

@@ -34,7 +34,8 @@ namespace {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --protocol turquois|abba|bracha   (default turquois)\n"
+      "  --protocol turquois|abba|bracha|crain|absmac\n"
+      "                                    (default turquois)\n"
       "  --n <4..128>                      group size (default 7)\n"
       "  --dist unanimous|divergent        proposal distribution\n"
       "  --faults <plan>                   fault plan: a named plan (none|\n"
@@ -158,6 +159,8 @@ int main(int argc, char** argv) {
       if (p == "turquois") cfg.protocol = Protocol::kTurquois;
       else if (p == "abba") cfg.protocol = Protocol::kAbba;
       else if (p == "bracha") cfg.protocol = Protocol::kBracha;
+      else if (p == "crain") cfg.protocol = Protocol::kCrain;
+      else if (p == "absmac") cfg.protocol = Protocol::kAbsMac;
       else usage(argv[0]);
     } else if (arg == "--n") {
       cfg.n = static_cast<std::uint32_t>(std::atoi(next()));
